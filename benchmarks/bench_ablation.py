@@ -1,0 +1,66 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Three ablations:
+
+* **Feasibility engine** — exact Fourier–Motzkin vs. the scipy-LP fast path
+  on the full containment decision (not just the isolated linear system);
+* **Probe-tuple strategy** — most-general probe tuple (Theorem 5.3) vs. the
+  all-probe-tuple path (Corollary 3.1) vs. the bounded guess-&-check
+  reference (Theorem 5.1) on the paper's pairs;
+* **Probe-tuple reduction** — full probe-tuple enumeration vs. the
+  isomorphism-reduced set mentioned after Definition 3.1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import (
+    decide_via_all_probes,
+    decide_via_bounded_guess,
+    decide_via_most_general_probe,
+)
+from repro.core.probe_tuples import probe_tuples, reduced_probe_tuples
+from repro.workloads.paper_examples import (
+    section2_q1,
+    section2_q2,
+    section3_probe_example_query,
+)
+
+PAPER_PAIRS = {
+    "q1_in_q2": (section2_q1, section2_q2, True),
+    "q2_in_q1": (section2_q2, section2_q1, False),
+}
+
+
+@pytest.mark.parametrize("engine", ["fourier-motzkin", "lp"])
+@pytest.mark.parametrize("pair_name", sorted(PAPER_PAIRS))
+def bench_ablation_feasibility_engine(benchmark, engine, pair_name):
+    containee_factory, containing_factory, expected = PAPER_PAIRS[pair_name]
+    containee, containing = containee_factory(), containing_factory()
+    result = benchmark(
+        decide_via_most_general_probe, containee, containing, engine == "lp"
+    )
+    assert result.contained == expected
+
+
+@pytest.mark.parametrize("strategy", ["most-general", "all-probes", "bounded-guess"])
+@pytest.mark.parametrize("pair_name", sorted(PAPER_PAIRS))
+def bench_ablation_probe_strategy(benchmark, strategy, pair_name):
+    containee_factory, containing_factory, expected = PAPER_PAIRS[pair_name]
+    containee, containing = containee_factory(), containing_factory()
+    deciders = {
+        "most-general": decide_via_most_general_probe,
+        "all-probes": decide_via_all_probes,
+        "bounded-guess": lambda a, b: decide_via_bounded_guess(a, b, bound=6),
+    }
+    result = benchmark(deciders[strategy], containee, containing)
+    assert result.contained == expected
+
+
+@pytest.mark.parametrize("variant", ["full", "reduced"])
+def bench_ablation_probe_tuple_reduction(benchmark, variant):
+    query = section3_probe_example_query()
+    enumerate_probes = probe_tuples if variant == "full" else reduced_probe_tuples
+    tuples = benchmark(enumerate_probes, query)
+    assert len(tuples) == (16 if variant == "full" else 10)

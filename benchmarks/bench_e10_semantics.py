@@ -1,0 +1,76 @@
+"""E10 — relationships between the three semantics.
+
+Regenerates, on random and structured workloads, the semantic relationships
+the paper states or relies on:
+
+* bag containment implies set containment (never the other way around in
+  general — the paper's q1/q2 pair is the counterexample);
+* bag-set containment of a projection-free containee coincides with set
+  containment;
+* both implications are measured: the bag decider is the most expensive of
+  the three, the set decider the cheapest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containment.bag_set_containment import decide_bag_set_containment
+from repro.containment.set_containment import is_set_contained
+from repro.core.decision import decide_via_most_general_probe
+from repro.workloads.paper_examples import section2_q1, section2_q2
+from repro.workloads.random_queries import random_containment_pair
+
+SEEDS = list(range(8))
+
+
+def pairs():
+    generated = [random_containment_pair(seed, num_atoms=3, head_size=2) for seed in SEEDS]
+    generated.append((section2_q1(), section2_q2()))
+    generated.append((section2_q2(), section2_q1()))
+    return generated
+
+
+def bench_e10_set_containment_sweep(benchmark):
+    workload = pairs()
+
+    def run():
+        return [is_set_contained(containee, containing) for containee, containing in workload]
+
+    verdicts = benchmark(run)
+    assert len(verdicts) == len(workload)
+
+
+def bench_e10_bag_set_containment_sweep(benchmark):
+    workload = pairs()
+
+    def run():
+        return [
+            decide_bag_set_containment(containee, containing)
+            for containee, containing in workload
+        ]
+
+    verdicts = benchmark(run)
+    set_verdicts = [is_set_contained(containee, containing) for containee, containing in workload]
+    # For projection-free containees bag-set containment IS set containment.
+    assert verdicts == set_verdicts
+
+
+def bench_e10_bag_containment_sweep(benchmark):
+    workload = pairs()
+
+    def run():
+        return [
+            decide_via_most_general_probe(containee, containing).contained
+            for containee, containing in workload
+        ]
+
+    bag_verdicts = benchmark(run)
+    set_verdicts = [is_set_contained(containee, containing) for containee, containing in workload]
+    # Bag containment implies set containment on every pair.
+    for bag_verdict, set_verdict in zip(bag_verdicts, set_verdicts):
+        if bag_verdict:
+            assert set_verdict
+    # And the implication is strict: the paper's (q2, q1) pair separates them.
+    assert True in set_verdicts
+    assert any(s and not b for b, s in zip(bag_verdicts, set_verdicts))

@@ -1,0 +1,53 @@
+"""E2 — Section 2 containment examples: q1, q2, q3 under set and bag semantics.
+
+Regenerates the verdict table the paper states at the end of Section 2:
+
+    pair          set containment    bag containment
+    q1 ⊑ q2       holds              holds
+    q2 ⊑ q1       holds              fails
+    q1 ⊑ q3       holds              holds
+    q2 ⊑ q3       holds              holds
+    q3 ⊑ q1/q2    fails              fails (implied)
+
+and times both deciders on each pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containment.set_containment import decide_set_containment
+from repro.core.decision import decide_bag_containment
+from repro.workloads.paper_examples import section2_q1, section2_q2, section2_q3
+
+PAIRS = {
+    "q1_in_q2": (section2_q1, section2_q2, True, True),
+    "q2_in_q1": (section2_q2, section2_q1, True, False),
+    "q1_in_q3": (section2_q1, section2_q3, True, True),
+    "q2_in_q3": (section2_q2, section2_q3, True, True),
+}
+
+
+@pytest.mark.parametrize("pair_name", sorted(PAIRS))
+def bench_e2_set_containment(benchmark, pair_name):
+    containee_factory, containing_factory, expected_set, _ = PAIRS[pair_name]
+    containee, containing = containee_factory(), containing_factory()
+    result = benchmark(decide_set_containment, containee, containing)
+    assert result.contained == expected_set
+
+
+@pytest.mark.parametrize("pair_name", sorted(PAIRS))
+def bench_e2_bag_containment(benchmark, pair_name):
+    containee_factory, containing_factory, _, expected_bag = PAIRS[pair_name]
+    containee, containing = containee_factory(), containing_factory()
+    result = benchmark(decide_bag_containment, containee, containing)
+    assert result.contained == expected_bag
+    if not expected_bag:
+        assert result.counterexample is not None
+
+
+def bench_e2_q3_is_not_set_contained(benchmark):
+    """Statement (3): q3 is not set-contained in q1 (hence not bag-contained)."""
+    q3, q1 = section2_q3(), section2_q1()
+    result = benchmark(decide_set_containment, q3, q1)
+    assert not result.contained

@@ -1,0 +1,55 @@
+"""E3 — Section 3 probe-tuple example.
+
+Reproduces the 16 probe tuples (10 up to canonical-constant renaming) of
+``q(x1,x2) ← R(x1,x2), R(c1,x2), R(x1,c2)`` and measures how probe-tuple
+enumeration blows up with the query's arity and constant count — the reason
+Theorem 5.3's single most-general probe tuple matters in practice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probe_tuples import most_general_probe_tuple, probe_tuples, reduced_probe_tuples
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+from repro.workloads.paper_examples import section3_probe_example_query
+
+
+def wide_query(arity: int, constants: int) -> ConjunctiveQuery:
+    """A projection-free query with the given arity and number of constants."""
+    variables = [Variable(f"x{i}") for i in range(arity)]
+    body: dict[Atom, int] = {}
+    for index, variable in enumerate(variables):
+        body[Atom("R", (variable, variables[(index + 1) % arity]))] = 1
+    for index in range(constants):
+        body[Atom("R", (variables[0], Constant(f"c{index}")))] = 1
+    return ConjunctiveQuery(tuple(variables), body, name="wide")
+
+
+def bench_e3_paper_probe_tuples(benchmark):
+    query = section3_probe_example_query()
+    tuples = benchmark(probe_tuples, query)
+    assert len(tuples) == 16
+
+
+def bench_e3_paper_reduced_probe_tuples(benchmark):
+    query = section3_probe_example_query()
+    reduced = benchmark(reduced_probe_tuples, query)
+    assert len(reduced) == 10
+
+
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def bench_e3_enumeration_grows_with_arity(benchmark, arity):
+    """|probe tuples| = (arity + #constants)^arity: exponential in the arity."""
+    query = wide_query(arity, constants=2)
+    tuples = benchmark(probe_tuples, query)
+    assert len(tuples) == (arity + 2) ** arity
+
+
+def bench_e3_most_general_probe_is_constant_time(benchmark):
+    """The Theorem 5.3 path touches a single tuple regardless of the domain size."""
+    query = wide_query(4, constants=3)
+    probe = benchmark(most_general_probe_tuple, query)
+    assert len(probe) == 4

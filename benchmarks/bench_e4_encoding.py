@@ -1,0 +1,41 @@
+"""E4 — Definitions 3.2/3.3: building the monomial and polynomial encodings.
+
+Reproduces the Section 3 example (``M = u1^2·u2·u3^3`` against
+``P = u1^7 + u1^5·u2^2 + u1^3·u3^4`` at the most-general probe tuple) and
+measures how the encoding cost grows with the number of containment mappings
+— the quantity the paper identifies as the exponential factor in the naive
+procedure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import encode_most_general
+from repro.workloads.paper_examples import section3_containee, section3_containing
+from repro.workloads.structured import star_containment_pair
+
+
+def bench_e4_paper_encoding(benchmark):
+    containee, containing = section3_containee(), section3_containing()
+    encoding = benchmark(encode_most_general, containee, containing)
+    assert encoding.num_mappings == 3
+    assert sorted(int(m.degree()) for m in encoding.polynomial) == [7, 7, 7]
+    assert int(encoding.monomial.degree()) == 6
+    # The paper's two Diophantine solutions solve the encoded inequality.
+    by_atom = {str(atom): index for index, atom in enumerate(encoding.atoms)}
+    point = [0, 0, 0]
+    point[by_atom["R(^x1, ^x2)"]] = 1
+    point[by_atom["R(c1, ^x2)"]] = 4
+    point[by_atom["R(^x1, c2)"]] = 3
+    assert encoding.inequality.is_solution(tuple(point))
+
+
+@pytest.mark.parametrize("rays", [2, 3, 4])
+def bench_e4_encoding_grows_with_containment_mappings(benchmark, rays):
+    """The star family has rays^rays containment mappings: the polynomial of
+    Definition 3.3 grows exponentially with the containing query's size."""
+    containee, containing = star_containment_pair(rays)
+    encoding = benchmark(encode_most_general, containee, containing)
+    assert encoding.num_mappings == rays**rays
+    assert encoding.dimension == rays

@@ -1,0 +1,80 @@
+"""E6 — Theorem 4.2: polynomial-time MPI decision, scaling study.
+
+The paper proves the Diophantine-solution problem for an n-MPI reduces to
+rational feasibility of a homogeneous linear system, which is polynomial in
+the number of unknowns, the number of monomials and the exponent values.
+This bench sweeps all three dimensions on synthetic MPIs (both solvable and
+unsolvable families) and compares the exact Fourier-Motzkin solver with the
+scipy-LP fast path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.diophantine.inequalities import MonomialPolynomialInequality
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.diophantine.solver import decide_mpi, decide_mpi_via_lp
+
+
+def random_mpi(
+    unknowns: int, monomials: int, max_exponent: int, seed: int
+) -> MonomialPolynomialInequality:
+    """A random MPI whose monomial mentions every unknown (the containment shape)."""
+    rng = random.Random(seed)
+    monomial = Monomial(1, tuple(rng.randint(1, max_exponent) for _ in range(unknowns)))
+    terms = []
+    for _ in range(monomials):
+        exponents = tuple(rng.randint(0, max_exponent) for _ in range(unknowns))
+        terms.append(Monomial(rng.randint(1, 3), exponents))
+    return MonomialPolynomialInequality(Polynomial(terms, unknowns), monomial)
+
+
+def unsolvable_mpi(unknowns: int) -> MonomialPolynomialInequality:
+    """``u1·…·un  <  u1·…·un`` padded with a dominated extra monomial: never solvable."""
+    ones = (1,) * unknowns
+    polynomial = Polynomial([Monomial(1, ones), Monomial(1, (0,) * unknowns)], unknowns)
+    return MonomialPolynomialInequality(polynomial, Monomial(1, ones))
+
+
+@pytest.mark.parametrize("unknowns", [2, 4, 8, 16])
+def bench_e6_exact_scaling_with_unknowns(benchmark, unknowns):
+    inequality = random_mpi(unknowns, monomials=6, max_exponent=4, seed=unknowns)
+    decision = benchmark(decide_mpi, inequality)
+    # Whatever the verdict, a positive one must come with a verified witness.
+    if decision.solvable:
+        assert inequality.is_solution(decision.witness)
+
+
+@pytest.mark.parametrize("monomials", [2, 8, 32, 128])
+def bench_e6_exact_scaling_with_monomials(benchmark, monomials):
+    inequality = random_mpi(4, monomials=monomials, max_exponent=4, seed=monomials)
+    decision = benchmark(decide_mpi, inequality)
+    if decision.solvable:
+        assert inequality.is_solution(decision.witness)
+
+
+@pytest.mark.parametrize("max_exponent", [2, 8, 32, 128])
+def bench_e6_exact_scaling_with_exponent_values(benchmark, max_exponent):
+    inequality = random_mpi(4, monomials=6, max_exponent=max_exponent, seed=max_exponent)
+    decision = benchmark(decide_mpi, inequality)
+    if decision.solvable:
+        assert inequality.is_solution(decision.witness)
+
+
+@pytest.mark.parametrize("unknowns", [2, 4, 8, 16])
+def bench_e6_lp_scaling_with_unknowns(benchmark, unknowns):
+    inequality = random_mpi(unknowns, monomials=6, max_exponent=4, seed=unknowns)
+    decision = benchmark(decide_mpi_via_lp, inequality)
+    if decision.solvable:
+        assert inequality.is_solution(decision.witness)
+
+
+@pytest.mark.parametrize("unknowns", [2, 6, 10])
+def bench_e6_unsolvable_family(benchmark, unknowns):
+    inequality = unsolvable_mpi(unknowns)
+    decision = benchmark(decide_mpi, inequality)
+    assert not decision.solvable

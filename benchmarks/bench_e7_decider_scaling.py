@@ -1,0 +1,84 @@
+"""E7 — Theorems 5.2/5.3: scaling of the bag-containment decider.
+
+Three sweeps, matching the complexity statement of the paper:
+
+* containing-query size (number of containment mappings) via the star
+  family — the dominant, potentially exponential factor;
+* containee-query size via the chain family — the polynomial factor;
+* most-general-probe-tuple path (Theorem 5.3) vs. the all-probe-tuple path
+  (Corollary 3.1) on queries with constants, where the number of probe
+  tuples grows quickly while the single-probe path stays flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import decide_via_all_probes, decide_via_most_general_probe
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+from repro.workloads.structured import (
+    amplified_query,
+    chain_containment_pair,
+    projection_free_chain,
+    star_containment_pair,
+)
+
+
+@pytest.mark.parametrize("rays", [2, 3, 4])
+def bench_e7_containing_query_size(benchmark, rays):
+    """Mappings grow as rays^rays; the verdict stays positive throughout."""
+    containee, containing = star_containment_pair(rays)
+    result = benchmark(decide_via_most_general_probe, containee, containing)
+    assert result.contained
+
+
+@pytest.mark.parametrize("length", [2, 4, 8, 16])
+def bench_e7_containee_query_size(benchmark, length):
+    """Chain containees: the unknown count grows linearly, the decision stays cheap."""
+    containee, containing = chain_containment_pair(length)
+    result = benchmark(decide_via_most_general_probe, containee, containing)
+    assert result.contained
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def bench_e7_negative_instances(benchmark, length):
+    """Amplified containee vs. plain containing query: always refuted, with a certificate."""
+    chain = projection_free_chain(length)
+    amplified = amplified_query(chain, 2)
+    result = benchmark(decide_via_most_general_probe, amplified, chain)
+    assert not result.contained
+    assert result.counterexample is not None
+
+
+def _query_with_constants(constants: int) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """A self-containment pair whose probe-tuple count grows with the constants.
+
+    Using the query against itself keeps the verdict trivially positive, so
+    the two probe strategies do the same logical work and the measurement
+    isolates the cost of enumerating and encoding every probe tuple.
+    """
+    x, y = Variable("x"), Variable("y")
+    body: dict[Atom, int] = {Atom("R", (x, y)): 1}
+    for index in range(constants):
+        body[Atom("R", (x, Constant(f"c{index}")))] = 1
+    containee = ConjunctiveQuery((x, y), body, name="q1")
+    return containee, containee.with_name("q2")
+
+
+@pytest.mark.parametrize("constants", [1, 2, 3])
+def bench_e7_most_general_probe_path(benchmark, constants):
+    containee, containing = _query_with_constants(constants)
+    result = benchmark(decide_via_most_general_probe, containee, containing)
+    assert result.contained
+
+
+@pytest.mark.parametrize("constants", [1, 2, 3])
+def bench_e7_all_probes_path(benchmark, constants):
+    """(constants + 2)^2 probe tuples, one MPI each: the cost the single-probe
+    characterisation of Theorem 5.3 avoids."""
+    containee, containing = _query_with_constants(constants)
+    result = benchmark(decide_via_all_probes, containee, containing)
+    assert result.contained
+    assert len(result.encodings) == (constants + 2) ** 2

@@ -1,0 +1,58 @@
+"""E8 — Theorem 5.4: the 3-colourability hardness family.
+
+Runs the decider on the bag-containment instances produced by the
+3-colourability reduction for classic graphs with known answers, and sweeps
+random graphs of growing size.  The qualitative claims being regenerated:
+
+* the decider's verdict always coincides with 3-colourability;
+* positive instances (3-colourable graphs) are the cheap direction — they
+  reduce to an unsolvable MPI whose linear system has a containment mapping
+  witnessing every inequality;
+* negative instances carry a verified counterexample bag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import decide_via_most_general_probe
+from repro.core.reductions import three_colorability_instance
+from repro.workloads.graphs import (
+    bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    is_three_colorable,
+    random_graph,
+    wheel_graph,
+)
+
+KNOWN_GRAPHS = {
+    "K3": (complete_graph, (3,), True),
+    "K4": (complete_graph, (4,), False),
+    "C5": (cycle_graph, (5,), True),
+    "C7": (cycle_graph, (7,), True),
+    "K33": (bipartite_graph, (3, 3), True),
+    "W5": (wheel_graph, (5,), False),
+    "W6": (wheel_graph, (6,), True),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(KNOWN_GRAPHS))
+def bench_e8_known_graphs(benchmark, graph_name):
+    factory, args, expected = KNOWN_GRAPHS[graph_name]
+    edges = factory(*args)
+    assert is_three_colorable(edges) == expected
+    containee, containing = three_colorability_instance(edges)
+    result = benchmark(decide_via_most_general_probe, containee, containing)
+    assert result.contained == expected
+    if not expected:
+        assert result.counterexample is not None
+
+
+@pytest.mark.parametrize("vertices", [4, 6, 8])
+def bench_e8_random_graphs(benchmark, vertices):
+    edges = random_graph(vertices, edge_probability=0.4, seed=vertices)
+    expected = is_three_colorable(edges)
+    containee, containing = three_colorability_instance(edges)
+    result = benchmark(decide_via_most_general_probe, containee, containing)
+    assert result.contained == expected

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment of DESIGN.md's
+per-experiment index (E1-E10).  Every benchmark asserts the qualitative
+outcome the paper predicts (who wins, which verdicts hold) in addition to
+timing the operation, so running ``pytest benchmarks/ --benchmark-only``
+doubles as a coarse end-to-end correctness check.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def experiment_log():
+    """A session-wide dictionary benches can use to accumulate report rows."""
+    rows: dict[str, list[tuple]] = {}
+    yield rows

@@ -1,0 +1,260 @@
+"""Regenerate the experiment tables of EXPERIMENTS.md.
+
+Run with::
+
+    python benchmarks/report.py
+
+The script executes each experiment (E1-E10) once, prints the same rows the
+corresponding ``bench_e*.py`` module asserts, and reports wall-clock timings
+for the scaling sweeps.  It is intentionally independent of pytest-benchmark
+so the tables can be regenerated quickly; the bench modules remain the
+statistically careful timing source.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.baselines.refuters import bounded_bag_refuter, random_bag_refuter
+from repro.containment.bag_set_containment import decide_bag_set_containment
+from repro.containment.set_containment import is_set_contained
+from repro.core.decision import decide_via_all_probes, decide_via_most_general_probe
+from repro.core.encoding import encode_most_general
+from repro.core.probe_tuples import probe_tuples, reduced_probe_tuples
+from repro.core.reductions import three_colorability_instance
+from repro.diophantine.solver import decide_mpi, decide_mpi_via_lp
+from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.workloads.graphs import (
+    bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    is_three_colorable,
+    random_graph,
+    wheel_graph,
+)
+from repro.workloads.paper_examples import (
+    section2_bag,
+    section2_q1,
+    section2_q2,
+    section2_q3,
+    section2_query,
+    section3_containee,
+    section3_containing,
+    section3_probe_example_query,
+)
+from repro.workloads.random_queries import random_containment_pair
+from repro.workloads.structured import (
+    amplified_query,
+    chain_containment_pair,
+    projection_free_chain,
+    star_containment_pair,
+)
+
+
+def timed(function: Callable, *args, **kwargs):
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def header(title: str) -> None:
+    print()
+    print(f"## {title}")
+    print()
+
+
+def e1() -> None:
+    header("E1 — bag evaluation of the Section 2 example")
+    answers, elapsed = timed(evaluate_bag, section2_query(), section2_bag())
+    for answer, count in answers.items():
+        rendered = ", ".join(str(term) for term in answer)
+        print(f"    q^mu({rendered}) = {count}")
+    print(f"    paper: 10 and 30;  wall-clock {elapsed * 1e3:.2f} ms")
+
+
+def e2() -> None:
+    header("E2 — Section 2 containment statements")
+    pairs = [
+        ("q1 in q2", section2_q1(), section2_q2()),
+        ("q2 in q1", section2_q2(), section2_q1()),
+        ("q1 in q3", section2_q1(), section2_q3()),
+        ("q2 in q3", section2_q2(), section2_q3()),
+        ("q3 in q1", section2_q3(), section2_q1()),
+    ]
+    print(f"    {'pair':<10} {'set':<6} {'bag':<6}")
+    for label, containee, containing in pairs:
+        set_verdict = is_set_contained(containee, containing)
+        if containee.is_projection_free():
+            bag_verdict = str(decide_via_most_general_probe(containee, containing).contained)
+        else:
+            bag_verdict = "n/a"
+        print(f"    {label:<10} {str(set_verdict):<6} {bag_verdict:<6}")
+
+
+def e3() -> None:
+    header("E3 — probe tuples of the Section 3 example")
+    query = section3_probe_example_query()
+    all_tuples, elapsed = timed(probe_tuples, query)
+    reduced = reduced_probe_tuples(query)
+    print(f"    probe tuples: {len(all_tuples)} (paper: 16)")
+    print(f"    reduced modulo canonical renaming: {len(reduced)} (paper: 10)")
+    print(f"    enumeration wall-clock {elapsed * 1e3:.2f} ms")
+
+
+def e4() -> None:
+    header("E4 — monomial / polynomial encoding of the Section 3 pair")
+    encoding, elapsed = timed(encode_most_general, section3_containee(), section3_containing())
+    print(f"    M = {encoding.monomial.render(encoding.unknown_names)}")
+    print(f"    P = {encoding.polynomial.render(encoding.unknown_names)}")
+    print(f"    containment mappings: {encoding.num_mappings} (paper: 3)")
+    print(f"    encoding wall-clock {elapsed * 1e3:.2f} ms")
+
+
+def e5() -> None:
+    header("E5 — deciding the Section 4 MPI")
+    encoding = encode_most_general(section3_containee(), section3_containing())
+    decision, exact_time = timed(decide_mpi, encoding.inequality)
+    _, lp_time = timed(decide_mpi_via_lp, encoding.inequality)
+    print(f"    solvable: {decision.solvable} (paper: solvable, so containment fails)")
+    print(f"    linear solution d: {decision.linear_solution}")
+    print(f"    Diophantine witness xi: {decision.witness}")
+    # Map the paper's (u1, u2, u3) = (R(x̂1,x̂2), R(c1,x̂2), R(x̂1,c2)) values
+    # onto the library's atom order before checking them.
+    index_of = {str(atom): position for position, atom in enumerate(encoding.atoms)}
+    for paper_solution in ((1, 4, 3), (1, 9, 3)):
+        point = [0, 0, 0]
+        point[index_of["R(^x1, ^x2)"]] = paper_solution[0]
+        point[index_of["R(c1, ^x2)"]] = paper_solution[1]
+        point[index_of["R(^x1, c2)"]] = paper_solution[2]
+        print(f"    paper solution {paper_solution} verifies: "
+              f"{encoding.inequality.is_solution(tuple(point))}")
+    print(f"    exact decision {exact_time * 1e3:.2f} ms, LP fast path {lp_time * 1e3:.2f} ms")
+
+
+def e6() -> None:
+    header("E6 — MPI decision scaling (PTime, Theorem 4.2)")
+    try:  # imported lazily so the script also works when run from the repo root
+        from benchmarks.bench_e6_mpi_scaling import random_mpi  # noqa: PLC0415
+    except ModuleNotFoundError:
+        from bench_e6_mpi_scaling import random_mpi  # noqa: PLC0415
+
+    print(f"    {'unknowns':>8} {'monomials':>10} {'exact (ms)':>12} {'lp (ms)':>10}")
+    for unknowns in (2, 4, 8, 16):
+        inequality = random_mpi(unknowns, 6, 4, unknowns)
+        _, exact_time = timed(decide_mpi, inequality)
+        _, lp_time = timed(decide_mpi_via_lp, inequality)
+        print(f"    {unknowns:>8} {6:>10} {exact_time * 1e3:>12.2f} {lp_time * 1e3:>10.2f}")
+    for monomials in (8, 32, 128):
+        inequality = random_mpi(4, monomials, 4, monomials)
+        _, exact_time = timed(decide_mpi, inequality)
+        _, lp_time = timed(decide_mpi_via_lp, inequality)
+        print(f"    {4:>8} {monomials:>10} {exact_time * 1e3:>12.2f} {lp_time * 1e3:>10.2f}")
+
+
+def e7() -> None:
+    header("E7 — decider scaling (Theorems 5.2/5.3)")
+    print("    containing-query size (star family, rays^rays mappings):")
+    print(f"    {'rays':>6} {'mappings':>10} {'decide (ms)':>12}")
+    for rays in (2, 3, 4):
+        containee, containing = star_containment_pair(rays)
+        result, elapsed = timed(decide_via_most_general_probe, containee, containing)
+        assert result.contained
+        print(f"    {rays:>6} {rays**rays:>10} {elapsed * 1e3:>12.2f}")
+    print("    containee-query size (chain family):")
+    print(f"    {'length':>8} {'decide (ms)':>12}")
+    for length in (2, 4, 8, 16):
+        containee, containing = chain_containment_pair(length)
+        result, elapsed = timed(decide_via_most_general_probe, containee, containing)
+        assert result.contained
+        print(f"    {length:>8} {elapsed * 1e3:>12.2f}")
+    print("    most-general probe vs. all probe tuples (self containment, k constants):")
+    print(f"    {'constants':>10} {'probes':>8} {'t* (ms)':>10} {'all (ms)':>10}")
+    try:
+        from benchmarks.bench_e7_decider_scaling import _query_with_constants  # noqa: PLC0415
+    except ModuleNotFoundError:
+        from bench_e7_decider_scaling import _query_with_constants  # noqa: PLC0415
+
+    for constants in (1, 2, 3):
+        containee, containing = _query_with_constants(constants)
+        _, single = timed(decide_via_most_general_probe, containee, containing)
+        all_result, full = timed(decide_via_all_probes, containee, containing)
+        print(
+            f"    {constants:>10} {len(all_result.encodings):>8} "
+            f"{single * 1e3:>10.2f} {full * 1e3:>10.2f}"
+        )
+
+
+def e8() -> None:
+    header("E8 — 3-colourability hardness family (Theorem 5.4)")
+    graphs = {
+        "K3": complete_graph(3),
+        "K4": complete_graph(4),
+        "C5": cycle_graph(5),
+        "K3,3": bipartite_graph(3, 3),
+        "W5": wheel_graph(5),
+        "W6": wheel_graph(6),
+        "G(8, .4)": random_graph(8, 0.4, seed=8),
+    }
+    print(f"    {'graph':<10} {'3-colourable':>13} {'containment':>12} {'decide (ms)':>12}")
+    for name, edges in graphs.items():
+        expected = is_three_colorable(edges)
+        containee, containing = three_colorability_instance(edges)
+        result, elapsed = timed(decide_via_most_general_probe, containee, containing)
+        print(f"    {name:<10} {str(expected):>13} {str(result.contained):>12} {elapsed * 1e3:>12.2f}")
+        assert result.contained == expected
+
+
+def e9() -> None:
+    header("E9 — exact decider vs. brute-force baselines")
+    containee, containing = section2_q2(), section2_q1()
+    _, exact_time = timed(decide_via_most_general_probe, containee, containing)
+    bounded, bounded_time = timed(bounded_bag_refuter, containee, containing, 3)
+    randomized, random_time = timed(random_bag_refuter, containee, containing, 200, 6, 0)
+    print("    negative instance (q2 vs q1):")
+    print(f"      exact decider     : refuted,    {exact_time * 1e3:>8.2f} ms")
+    print(f"      bounded refuter   : refuted={bounded.refuted}, {bounded_time * 1e3:>8.2f} ms, "
+          f"{bounded.bags_checked} bags")
+    print(f"      random refuter    : refuted={randomized.refuted}, {random_time * 1e3:>8.2f} ms, "
+          f"{randomized.bags_checked} bags")
+    containee, containing = section2_q1(), section2_q2()
+    _, exact_time = timed(decide_via_most_general_probe, containee, containing)
+    print("    positive instance (q1 vs q2):")
+    print(f"      exact decider     : proven,     {exact_time * 1e3:>8.2f} ms")
+    for bound in (2, 4, 8):
+        outcome, elapsed = timed(bounded_bag_refuter, containee, containing, bound)
+        print(f"      bounded refuter B={bound}: inconclusive after {outcome.bags_checked:>3} bags, "
+              f"{elapsed * 1e3:>8.2f} ms")
+
+
+def e10() -> None:
+    header("E10 — semantics relationships on random workloads")
+    agree = 0
+    bag_implies_set_violations = 0
+    strict_separations = 0
+    pairs = [random_containment_pair(seed, num_atoms=3, head_size=2) for seed in range(20)]
+    pairs += [(section2_q1(), section2_q2()), (section2_q2(), section2_q1())]
+    for containee, containing in pairs:
+        set_verdict = is_set_contained(containee, containing)
+        bag_set_verdict = decide_bag_set_containment(containee, containing)
+        bag_verdict = decide_via_most_general_probe(containee, containing).contained
+        if bag_set_verdict == set_verdict:
+            agree += 1
+        if bag_verdict and not set_verdict:
+            bag_implies_set_violations += 1
+        if set_verdict and not bag_verdict:
+            strict_separations += 1
+    print(f"    pairs examined                       : {len(pairs)}")
+    print(f"    bag-set verdict == set verdict       : {agree}/{len(pairs)}")
+    print(f"    violations of 'bag implies set'      : {bag_implies_set_violations} (must be 0)")
+    print(f"    set holds but bag fails (strictness) : {strict_separations} (>= 1 expected)")
+
+
+def main() -> None:
+    print("# Experiment report — bag containment reproduction")
+    for experiment in (e1, e2, e3, e4, e5, e6, e7, e8, e9, e10):
+        experiment()
+
+
+if __name__ == "__main__":
+    main()

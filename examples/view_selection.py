@@ -1,0 +1,97 @@
+"""Duplicate-preserving view selection with the bag-containment decider.
+
+A data-integration scenario from the paper's motivation: a warehouse keeps
+*materialised views* (pre-joined tables) and wants to answer a dashboard
+query from a view instead of the base tables.  Under set semantics the only
+requirement is set equivalence; under the bag semantics SQL actually uses,
+the substitution is only safe when the view query and the dashboard query
+agree on *multiplicities* — i.e. when bag containment holds in both
+directions.
+
+The example builds a small catalogue of candidate views for a dashboard
+query, classifies each candidate with the decider, and prints which ones are
+safe to use, which only over-approximate (sound for upper-bound style
+aggregates), and which are outright wrong, each with its counterexample
+database.
+
+Run with::
+
+    python examples/view_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import decide_bag_containment, parse_cq
+from repro.exceptions import NotProjectionFreeError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.printer import format_query
+
+
+def contained_or_none(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> bool | None:
+    """Bag containment verdict, or ``None`` when the containee has projections.
+
+    The paper's procedure needs a projection-free containee; for views with
+    existential variables the reverse direction is outside the decidable
+    fragment, which the classifier reports honestly.
+    """
+    try:
+        return decide_bag_containment(containee, containing).contained
+    except NotProjectionFreeError:
+        return None
+
+
+def classify(dashboard: ConjunctiveQuery, view: ConjunctiveQuery) -> str:
+    """Classify a candidate view against the dashboard query."""
+    view_covers = contained_or_none(dashboard, view)   # dashboard ⊑b view
+    view_exact = contained_or_none(view, dashboard)    # view ⊑b dashboard
+    if view_covers and view_exact:
+        return "EXACT      — duplicate counts are preserved; safe for SUM/COUNT dashboards"
+    if view_covers and view_exact is None:
+        return "OVERCOUNTS?— dashboard duplicates are preserved; the reverse direction is outside the decidable fragment"
+    if view_covers:
+        return "OVERCOUNTS — every dashboard duplicate is present, but the view may add more"
+    if view_exact:
+        return "UNDERCOUNTS— the view can lose duplicates the dashboard query would report"
+    return "INCOMPARABLE — multiplicities disagree (or the reverse direction is undecidable here)"
+
+
+def main() -> None:
+    # Dashboard: revenue lines per (customer, product), joining orders with
+    # shipments; the join is duplicate-sensitive because a customer can have
+    # several identical order lines.
+    dashboard = parse_cq(
+        "dash(x_cust, x_prod) <- Orders(x_cust, x_prod), Ships(x_cust, x_prod)"
+    )
+    print("dashboard query:", format_query(dashboard))
+    print()
+
+    candidates = {
+        "v_exact": parse_cq(
+            "v_exact(x_cust, x_prod) <- Ships(x_cust, x_prod), Orders(x_cust, x_prod)"
+        ),
+        "v_double_join": parse_cq(
+            "v_double_join(x_cust, x_prod) <- Orders^2(x_cust, x_prod), Ships(x_cust, x_prod)"
+        ),
+        "v_orders_only": parse_cq(
+            "v_orders_only(x_cust, x_prod) <- Orders(x_cust, x_prod)"
+        ),
+        "v_projected": parse_cq(
+            "v_projected(x_cust, x_prod) <- Orders(x_cust, x_prod), Ships(x_cust, y_other)"
+        ),
+    }
+
+    for name, view in candidates.items():
+        print(f"candidate {name}: {format_query(view)}")
+        print("   ", classify(dashboard, view))
+        forward = decide_bag_containment(dashboard, view)
+        if not forward.contained and forward.counterexample is not None:
+            print("    missing-duplicates witness:", forward.counterexample.describe())
+        if view.is_projection_free():
+            backward = decide_bag_containment(view, dashboard)
+            if not backward.contained and backward.counterexample is not None:
+                print("    extra-duplicates witness:  ", backward.counterexample.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that environments without the ``wheel`` package (where PEP 660
+editable installs are unavailable) can still run
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

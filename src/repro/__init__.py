@@ -1,0 +1,130 @@
+"""repro — bag containment of projection-free conjunctive queries.
+
+A production-quality reproduction of *“Attacking Diophantus: Solving a
+Special Case of Bag Containment”* (Konstantinidis & Mogavero, PODS 2019).
+
+The package decides whether a projection-free conjunctive query is
+bag-contained in an arbitrary conjunctive query by encoding the problem as a
+monomial–polynomial Diophantine inequality and solving the inequality via a
+homogeneous linear system, exactly as in the paper.  It also ships the full
+substrate the decision procedure stands on: a relational model with bag
+instances, a query model with bag representation, evaluation engines for
+set / bag / bag-set semantics, Chandra–Merlin set containment, exact linear
+feasibility solvers, brute-force baselines, workload generators, and the
+hardness reductions.
+
+Quick start
+-----------
+>>> from repro import parse_cq, decide_bag_containment
+>>> q1 = parse_cq("q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)")
+>>> q2 = parse_cq("q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)")
+>>> decide_bag_containment(q1, q2).contained
+True
+>>> decide_bag_containment(q2, q1).contained
+False
+"""
+
+from repro.baselines import bounded_bag_refuter, cross_check, random_bag_refuter
+from repro.containment import (
+    are_bag_set_equivalent,
+    are_set_equivalent,
+    core,
+    decide_bag_set_containment,
+    decide_set_containment,
+    is_set_contained,
+)
+from repro.core import (
+    BagContainmentResult,
+    ContainmentCounterexample,
+    ContainmentSpectrum,
+    MpiEncoding,
+    Relationship,
+    are_bag_equivalent,
+    compare,
+    decide_bag_containment,
+    encode,
+    encode_most_general,
+    is_bag_contained,
+    most_general_probe_tuple,
+    probe_tuples,
+    three_colorability_instance,
+)
+from repro.diophantine import (
+    Monomial,
+    MonomialPolynomialInequality,
+    Polynomial,
+    decide_mpi,
+)
+from repro.evaluation import (
+    AnswerBag,
+    evaluate_bag,
+    evaluate_bag_set,
+    evaluate_set,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    QueryBuilder,
+    UnionOfConjunctiveQueries,
+    parse_cq,
+    parse_ucq,
+)
+from repro.relational import (
+    Atom,
+    BagInstance,
+    Constant,
+    DatabaseSchema,
+    RelationSchema,
+    SetInstance,
+    Substitution,
+    Variable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerBag",
+    "Atom",
+    "BagContainmentResult",
+    "BagInstance",
+    "ConjunctiveQuery",
+    "Constant",
+    "ContainmentCounterexample",
+    "ContainmentSpectrum",
+    "DatabaseSchema",
+    "Monomial",
+    "MonomialPolynomialInequality",
+    "MpiEncoding",
+    "Polynomial",
+    "QueryBuilder",
+    "RelationSchema",
+    "Relationship",
+    "SetInstance",
+    "Substitution",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "are_bag_equivalent",
+    "are_bag_set_equivalent",
+    "are_set_equivalent",
+    "bounded_bag_refuter",
+    "compare",
+    "core",
+    "cross_check",
+    "decide_bag_containment",
+    "decide_bag_set_containment",
+    "decide_mpi",
+    "decide_set_containment",
+    "encode",
+    "encode_most_general",
+    "evaluate_bag",
+    "evaluate_bag_set",
+    "evaluate_set",
+    "is_bag_contained",
+    "is_set_contained",
+    "most_general_probe_tuple",
+    "parse_cq",
+    "parse_ucq",
+    "probe_tuples",
+    "random_bag_refuter",
+    "three_colorability_instance",
+    "__version__",
+]

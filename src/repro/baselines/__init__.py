@@ -1,0 +1,18 @@
+"""Baselines: brute-force refuters and cross-checking utilities."""
+
+from repro.baselines.comparison import AgreementReport, cross_check
+from repro.baselines.refuters import (
+    RefutationOutcome,
+    bounded_bag_refuter,
+    check_bag,
+    random_bag_refuter,
+)
+
+__all__ = [
+    "AgreementReport",
+    "RefutationOutcome",
+    "bounded_bag_refuter",
+    "check_bag",
+    "cross_check",
+    "random_bag_refuter",
+]

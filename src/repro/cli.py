@@ -1,0 +1,174 @@
+"""Command line interface: ``bagcq`` / ``python -m repro``.
+
+Sub-commands
+------------
+``decide``
+    Decide bag containment of a projection-free CQ into a CQ and print the
+    verdict, the Diophantine encoding and — for negative answers — the
+    counterexample bag.
+
+``set-decide``
+    Decide classic set containment (Chandra–Merlin).
+
+``evaluate``
+    Evaluate a query under bag semantics on a bag instance given as
+    ``R(a,b)=3`` fact/multiplicity pairs.
+
+``encode``
+    Print the monomial–polynomial inequality associated with a containment
+    instance at the most-general probe tuple, without deciding it.
+
+``compare``
+    Compare two queries under both semantics in both directions and print
+    the rewrite-safety verdict (``repro.core.spectrum``).
+
+Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
+e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.containment.set_containment import decide_set_containment
+from repro.core.decision import STRATEGIES, decide_bag_containment
+from repro.core.encoding import encode_most_general
+from repro.core.spectrum import compare
+from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.exceptions import CliError, ReproError
+from repro.queries.parser import parse_atom, parse_cq
+from repro.queries.printer import format_answer_bag, format_bag_instance, format_query
+from repro.relational.instances import BagInstance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser of the ``bagcq`` command."""
+    parser = argparse.ArgumentParser(
+        prog="bagcq",
+        description="Bag containment of projection-free conjunctive queries (PODS 2019 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    decide = subparsers.add_parser("decide", help="decide bag containment q1 ⊑b q2")
+    decide.add_argument("containee", help="the projection-free containee query q1")
+    decide.add_argument("containing", help="the containing query q2")
+    decide.add_argument(
+        "--strategy", choices=STRATEGIES, default="most-general", help="decision strategy"
+    )
+    decide.add_argument("--lp", action="store_true", help="use the scipy LP fast path")
+    decide.add_argument("--verbose", action="store_true", help="print the full encoding")
+
+    set_decide = subparsers.add_parser("set-decide", help="decide set containment q1 ⊑s q2")
+    set_decide.add_argument("containee", help="the containee query q1")
+    set_decide.add_argument("containing", help="the containing query q2")
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a query under bag semantics")
+    evaluate.add_argument("query", help="the query to evaluate")
+    evaluate.add_argument(
+        "facts",
+        nargs="+",
+        help="facts with multiplicities, e.g. 'R(a,b)=3' (multiplicity defaults to 1)",
+    )
+
+    encode = subparsers.add_parser(
+        "encode", help="print the MPI encoding at the most-general probe tuple"
+    )
+    encode.add_argument("containee", help="the projection-free containee query q1")
+    encode.add_argument("containing", help="the containing query q2")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare two queries under set and bag semantics, both directions"
+    )
+    compare_parser.add_argument("left", help="the first query")
+    compare_parser.add_argument("right", help="the second query")
+
+    return parser
+
+
+def _parse_bag(fact_specs: Sequence[str]) -> BagInstance:
+    counts = {}
+    for spec in fact_specs:
+        if "=" in spec:
+            atom_text, _, multiplicity_text = spec.rpartition("=")
+            try:
+                multiplicity = int(multiplicity_text)
+            except ValueError as exc:
+                raise CliError(f"invalid multiplicity in {spec!r}") from exc
+        else:
+            atom_text, multiplicity = spec, 1
+        atom, _ = parse_atom(atom_text)
+        if not atom.is_ground:
+            raise CliError(f"facts must be ground, got {atom}")
+        counts[atom] = counts.get(atom, 0) + multiplicity
+    return BagInstance(counts)
+
+
+def _run_decide(args: argparse.Namespace) -> int:
+    containee = parse_cq(args.containee)
+    containing = parse_cq(args.containing)
+    result = decide_bag_containment(
+        containee, containing, strategy=args.strategy, use_lp=args.lp
+    )
+    print(result.explain())
+    if args.verbose and result.encodings:
+        print()
+        print(result.encodings[-1].describe())
+    return 0 if result.contained else 1
+
+
+def _run_set_decide(args: argparse.Namespace) -> int:
+    containee = parse_cq(args.containee)
+    containing = parse_cq(args.containing)
+    result = decide_set_containment(containee, containing)
+    print(result.explain())
+    return 0 if result.contained else 1
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    query = parse_cq(args.query)
+    bag = _parse_bag(args.facts)
+    answers = evaluate_bag(query, bag)
+    print(f"query: {format_query(query)}")
+    print(f"bag:   {format_bag_instance(bag)}")
+    print(f"answer: {format_answer_bag(answers.items())}")
+    return 0
+
+
+def _run_encode(args: argparse.Namespace) -> int:
+    containee = parse_cq(args.containee)
+    containing = parse_cq(args.containing)
+    encoding = encode_most_general(containee, containing)
+    print(encoding.describe())
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    spectrum = compare(parse_cq(args.left), parse_cq(args.right))
+    print(spectrum.describe())
+    return 0 if spectrum.is_safe_substitution() else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the ``bagcq`` console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "decide": _run_decide,
+        "set-decide": _run_set_decide,
+        "evaluate": _run_evaluate,
+        "encode": _run_encode,
+        "compare": _run_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

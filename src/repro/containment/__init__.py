@@ -1,0 +1,29 @@
+"""Set-semantics containment, query minimisation, and bag-set containment."""
+
+from repro.containment.bag_set_containment import (
+    are_bag_set_equivalent,
+    bag_set_counterexample_on_canonical,
+    decide_bag_set_containment,
+)
+from repro.containment.minimization import core, is_minimal, redundant_atoms
+from repro.containment.set_containment import (
+    SetContainmentResult,
+    are_set_equivalent,
+    decide_set_containment,
+    decide_set_containment_ucq,
+    is_set_contained,
+)
+
+__all__ = [
+    "SetContainmentResult",
+    "are_bag_set_equivalent",
+    "are_set_equivalent",
+    "bag_set_counterexample_on_canonical",
+    "core",
+    "decide_bag_set_containment",
+    "decide_set_containment",
+    "decide_set_containment_ucq",
+    "is_minimal",
+    "is_set_contained",
+    "redundant_atoms",
+]

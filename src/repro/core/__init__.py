@@ -1,0 +1,70 @@
+"""The paper's primary contribution: deciding bag containment of a
+projection-free CQ into a generic CQ via monomial-polynomial inequalities."""
+
+from repro.core.certificates import (
+    ContainmentCounterexample,
+    counterexample_from_witness,
+    uniform_counterexample,
+)
+from repro.core.decision import (
+    STRATEGIES,
+    BagContainmentResult,
+    are_bag_equivalent,
+    decide_bag_containment,
+    decide_via_all_probes,
+    decide_via_bounded_guess,
+    decide_via_most_general_probe,
+    is_bag_contained,
+)
+from repro.core.encoding import MpiEncoding, encode, encode_most_general
+from repro.core.probe_tuples import (
+    canonical_probe_representative,
+    is_probe_tuple,
+    iter_probe_tuples,
+    most_general_probe_tuple,
+    probe_domain,
+    probe_tuples,
+    reduced_probe_tuples,
+)
+from repro.core.reductions import (
+    bag_for_polynomial_point,
+    graph_query,
+    polynomial_pair_to_ucqs,
+    polynomial_to_ucq,
+    three_colorability_instance,
+    triangle_query,
+)
+from repro.core.spectrum import ContainmentSpectrum, Relationship, compare
+
+__all__ = [
+    "BagContainmentResult",
+    "ContainmentCounterexample",
+    "ContainmentSpectrum",
+    "MpiEncoding",
+    "Relationship",
+    "STRATEGIES",
+    "compare",
+    "are_bag_equivalent",
+    "bag_for_polynomial_point",
+    "canonical_probe_representative",
+    "counterexample_from_witness",
+    "decide_bag_containment",
+    "decide_via_all_probes",
+    "decide_via_bounded_guess",
+    "decide_via_most_general_probe",
+    "encode",
+    "encode_most_general",
+    "graph_query",
+    "is_bag_contained",
+    "is_probe_tuple",
+    "iter_probe_tuples",
+    "most_general_probe_tuple",
+    "polynomial_pair_to_ucqs",
+    "polynomial_to_ucq",
+    "probe_domain",
+    "probe_tuples",
+    "reduced_probe_tuples",
+    "three_colorability_instance",
+    "triangle_query",
+    "uniform_counterexample",
+]

@@ -1,0 +1,176 @@
+"""Reductions connecting bag containment to other problems.
+
+Two constructive reductions from the paper (and its related work) are
+implemented:
+
+* **3-colourability → bag containment** (Theorem 5.4).  For a graph ``G``
+  the Boolean ground query ``q_T ← R(a,b), R(b,c), R(c,a)`` (the triangle)
+  and the Boolean query ``q_G`` encoding the edges of ``G`` satisfy:
+  ``G`` is 3-colourable iff ``q_T ⊑b q_T ∧ q_G``.  Since ``q_T`` is ground
+  (hence projection-free) this yields NPTime-hardness of the problem the
+  paper solves, and gives the library an endless supply of hard instances
+  (experiment E8).
+
+* **Polynomial pair → UCQs** (Ioannidis–Ramakrishnan).  Two polynomials
+  ``P1, P2`` with natural coefficients and no constant terms are encoded as
+  Boolean UCQs ``Q1, Q2`` over unary relations ``U_1 ... U_n`` (one per
+  unknown) such that for every bag instance the bag answers satisfy
+  ``Q1^µ() = P1(ξ)`` and ``Q2^µ() = P2(ξ)`` where ``ξ_i`` is the total
+  multiplicity of relation ``U_i``; hence ``Q1 ⊑b Q2`` iff
+  ``P1(ξ) ≤ P2(ξ)`` for every natural ``ξ``.  This is the construction that
+  makes UCQ bag containment undecidable; here it is used the other way
+  around, as a generator of evaluation workloads with known ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.diophantine.polynomials import Polynomial
+from repro.exceptions import WorkloadError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance
+from repro.relational.terms import Constant, Variable
+
+__all__ = [
+    "graph_query",
+    "triangle_query",
+    "three_colorability_instance",
+    "polynomial_to_ucq",
+    "polynomial_pair_to_ucqs",
+    "bag_for_polynomial_point",
+]
+
+#: The three colour constants of the triangle query.
+_COLOR_NAMES = ("col_a", "col_b", "col_c")
+
+#: Relation name used for graph edges.
+EDGE_RELATION = "E"
+
+
+def triangle_query(name: str = "qT") -> ConjunctiveQuery:
+    """The ground triangle query ``q_T ← E(a,b), E(b,c), E(c,a)``."""
+    a, b, c = (Constant(color) for color in _COLOR_NAMES)
+    body = [Atom(EDGE_RELATION, (a, b)), Atom(EDGE_RELATION, (b, c)), Atom(EDGE_RELATION, (c, a))]
+    return ConjunctiveQuery((), body, name=name)
+
+
+def graph_query(
+    edges: Iterable[tuple[Hashable, Hashable]], name: str = "qG"
+) -> ConjunctiveQuery:
+    """The Boolean query whose body is the edge set of a *directed* graph.
+
+    Every vertex ``v`` becomes the existential variable ``x_v``; every edge
+    ``(v, w)`` becomes the atom ``E(x_v, x_w)``.  For the 3-colourability
+    reduction an undirected graph should be passed with both orientations of
+    each edge (:func:`three_colorability_instance` does this automatically).
+    """
+    atoms = []
+    for source, target in edges:
+        atoms.append(
+            Atom(EDGE_RELATION, (Variable(f"x_{source}"), Variable(f"x_{target}")))
+        )
+    if not atoms:
+        raise WorkloadError("the graph must have at least one edge")
+    return ConjunctiveQuery((), atoms, name=name)
+
+
+def three_colorability_instance(
+    edges: Iterable[tuple[Hashable, Hashable]]
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """The bag-containment instance of Theorem 5.4 for an undirected graph.
+
+    Returns the pair ``(q_T, q_T ∧ q_G)``: the graph is 3-colourable iff the
+    first query is bag-contained in the second.  Both orientations of every
+    edge are added so that a homomorphism into the (symmetrically closed)
+    triangle exists exactly when the graph has a proper 3-colouring.
+    """
+    oriented: list[tuple[Hashable, Hashable]] = []
+    for source, target in edges:
+        if source == target:
+            raise WorkloadError(f"self-loop ({source}, {target}) makes the graph trivially non-3-colourable")
+        oriented.append((source, target))
+        oriented.append((target, source))
+
+    symmetric_triangle_edges = [
+        (_COLOR_NAMES[0], _COLOR_NAMES[1]),
+        (_COLOR_NAMES[1], _COLOR_NAMES[0]),
+        (_COLOR_NAMES[1], _COLOR_NAMES[2]),
+        (_COLOR_NAMES[2], _COLOR_NAMES[1]),
+        (_COLOR_NAMES[2], _COLOR_NAMES[0]),
+        (_COLOR_NAMES[0], _COLOR_NAMES[2]),
+    ]
+    triangle_atoms = [
+        Atom(EDGE_RELATION, (Constant(a), Constant(b))) for a, b in symmetric_triangle_edges
+    ]
+    containee = ConjunctiveQuery((), triangle_atoms, name="qT")
+    containing = containee.conjoin(graph_query(oriented, name="qG"), name="qT&qG")
+    return containee, containing
+
+
+# --------------------------------------------------------------------------- #
+# Ioannidis–Ramakrishnan style polynomial encoding
+# --------------------------------------------------------------------------- #
+def _unknown_relation(index: int) -> str:
+    return f"U{index + 1}"
+
+
+def polynomial_to_ucq(polynomial: Polynomial, name: str = "Q") -> UnionOfConjunctiveQueries:
+    """Encode a polynomial with natural coefficients as a Boolean UCQ.
+
+    The monomial ``a · u_1^{e_1} ··· u_n^{e_n}`` becomes ``a`` identical
+    Boolean disjuncts, each containing ``e_i`` atoms ``U_i(y)`` over pairwise
+    distinct existential variables.  On any bag instance the bag answer of
+    such a disjunct is ``Π_i (Σ_v µ(U_i(v)))^{e_i}``, so with
+    ``ξ_i = Σ_v µ(U_i(v))`` the answer of the UCQ is exactly the polynomial
+    value ``P(ξ)``.
+    """
+    if polynomial.has_constant_term():
+        raise WorkloadError("the encoding requires polynomials without constant terms")
+    if not polynomial.is_integral():
+        raise WorkloadError("the encoding requires integer exponents")
+
+    disjuncts: list[ConjunctiveQuery] = []
+    for monomial_index, monomial in enumerate(polynomial):
+        coefficient = monomial.coefficient
+        if coefficient.denominator != 1:
+            raise WorkloadError("the encoding requires natural coefficients")
+        atoms: list[Atom] = []
+        variable_counter = 0
+        for unknown_index, exponent in enumerate(monomial.integer_exponents()):
+            for _ in range(exponent):
+                atoms.append(
+                    Atom(_unknown_relation(unknown_index), (Variable(f"y{variable_counter}"),))
+                )
+                variable_counter += 1
+        disjunct = ConjunctiveQuery((), atoms, name=f"{name}_{monomial_index}")
+        disjuncts.extend([disjunct] * int(coefficient))
+    if not disjuncts:
+        raise WorkloadError("cannot encode the zero polynomial as a UCQ")
+    return UnionOfConjunctiveQueries(disjuncts, name=name)
+
+
+def polynomial_pair_to_ucqs(
+    left: Polynomial, right: Polynomial
+) -> tuple[UnionOfConjunctiveQueries, UnionOfConjunctiveQueries]:
+    """Encode two polynomials as the UCQ pair of the Ioannidis–Ramakrishnan reduction."""
+    return polynomial_to_ucq(left, name="Q1"), polynomial_to_ucq(right, name="Q2")
+
+
+def bag_for_polynomial_point(point: Sequence[int]) -> BagInstance:
+    """The single-constant bag realising the unknown values *point*.
+
+    The bag contains one fact ``U_i(v)`` with multiplicity ``point[i]`` for
+    every unknown ``i`` with a positive value, so evaluating the encoded
+    UCQs on it yields exactly the polynomial values at *point*.
+    """
+    value = Constant("v")
+    counts = {}
+    for index, multiplicity in enumerate(point):
+        if multiplicity < 0:
+            raise WorkloadError(f"polynomial points must be natural vectors, got {tuple(point)}")
+        if multiplicity > 0:
+            counts[Atom(_unknown_relation(index), (value,))] = int(multiplicity)
+    return BagInstance(counts)

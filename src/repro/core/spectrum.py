@@ -1,0 +1,120 @@
+"""High-level comparison of two queries under set and bag semantics.
+
+Applications (query rewriting, view selection, cache reuse) rarely ask a
+single containment question: they want to know how two queries relate in
+*both* directions and under *both* semantics, and what that means for the
+rewrite at hand.  :func:`compare` bundles the four underlying decisions into
+a :class:`ContainmentSpectrum` with a compact verdict:
+
+* ``EQUIVALENT`` — bag-equivalent: safe to substitute even for
+  duplicate-sensitive aggregates (``SUM``, ``COUNT``);
+* ``CONTAINED`` / ``CONTAINS`` — bag containment in exactly one direction:
+  substitution under- or over-counts duplicates, but is safe for
+  ``DISTINCT``/existence-style uses when set equivalence also holds;
+* ``SET_EQUIVALENT_ONLY`` — classically interchangeable, but duplicate
+  counts differ in both directions (the paper's q1/q2 situation);
+* ``INCOMPARABLE`` — not even set containment holds in either direction;
+* directions whose containee has projections are reported as ``None``
+  (outside the fragment the paper proves decidable) and the verdict falls
+  back to what the set-semantics comparison supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.containment.set_containment import is_set_contained
+from repro.core.decision import decide_bag_containment
+from repro.exceptions import NotProjectionFreeError
+from repro.queries.cq import ConjunctiveQuery
+
+__all__ = ["Relationship", "ContainmentSpectrum", "compare"]
+
+
+class Relationship(Enum):
+    """Compact verdict of a two-query comparison."""
+
+    EQUIVALENT = "bag-equivalent"
+    CONTAINED = "bag-contained (left into right only)"
+    CONTAINS = "bag-contains (right into left only)"
+    SET_EQUIVALENT_ONLY = "set-equivalent but not bag-comparable"
+    SET_CONTAINED_ONLY = "set-contained only"
+    INCOMPARABLE = "incomparable"
+    UNKNOWN = "outside the decidable fragment"
+
+
+@dataclass(frozen=True)
+class ContainmentSpectrum:
+    """All four containment verdicts for a pair of queries.
+
+    ``None`` for a bag direction means that direction's containee has
+    existential variables, so it lies outside the fragment the paper solves.
+    """
+
+    left: ConjunctiveQuery
+    right: ConjunctiveQuery
+    set_forward: bool
+    set_backward: bool
+    bag_forward: bool | None
+    bag_backward: bool | None
+
+    @property
+    def relationship(self) -> Relationship:
+        """The compact verdict derived from the four decisions."""
+        if self.bag_forward and self.bag_backward:
+            return Relationship.EQUIVALENT
+        if self.bag_forward:
+            return Relationship.CONTAINED
+        if self.bag_backward:
+            return Relationship.CONTAINS
+        if self.bag_forward is None and self.bag_backward is None:
+            if self.set_forward or self.set_backward:
+                return Relationship.UNKNOWN
+            return Relationship.INCOMPARABLE
+        if self.set_forward and self.set_backward:
+            return Relationship.SET_EQUIVALENT_ONLY
+        if self.set_forward or self.set_backward:
+            return Relationship.SET_CONTAINED_ONLY
+        return Relationship.INCOMPARABLE
+
+    def is_safe_substitution(self) -> bool:
+        """Whether *right* can replace *left* without changing duplicate counts.
+
+        True exactly when the two queries are bag-equivalent.
+        """
+        return self.relationship is Relationship.EQUIVALENT
+
+    def is_safe_for_distinct(self) -> bool:
+        """Whether the substitution is safe under ``SELECT DISTINCT`` (set equivalence)."""
+        return self.set_forward and self.set_backward
+
+    def describe(self) -> str:
+        """A short human-readable summary."""
+        def render(value: bool | None) -> str:
+            return "n/a" if value is None else ("yes" if value else "no")
+
+        return (
+            f"{self.left.name} vs {self.right.name}: {self.relationship.value}\n"
+            f"  set:  forward={render(self.set_forward)}  backward={render(self.set_backward)}\n"
+            f"  bag:  forward={render(self.bag_forward)}  backward={render(self.bag_backward)}"
+        )
+
+
+def _bag_direction(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> bool | None:
+    try:
+        return decide_bag_containment(containee, containing).contained
+    except NotProjectionFreeError:
+        return None
+
+
+def compare(left: ConjunctiveQuery, right: ConjunctiveQuery) -> ContainmentSpectrum:
+    """Compare two queries under set and bag semantics, in both directions."""
+    return ContainmentSpectrum(
+        left=left,
+        right=right,
+        set_forward=is_set_contained(left, right),
+        set_backward=is_set_contained(right, left),
+        bag_forward=_bag_direction(left, right),
+        bag_backward=_bag_direction(right, left),
+    )

@@ -1,0 +1,29 @@
+"""Diophantine layer: monomials, polynomials, MPIs/GMPIs and their decision."""
+
+from repro.diophantine.bounds import phi, solution_component_bound
+from repro.diophantine.inequalities import GeneralizedMPI, MonomialPolynomialInequality
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.diophantine.solver import (
+    MpiDecision,
+    decide_mpi,
+    decide_mpi_via_lp,
+    smallest_univariate_solution,
+    solve_univariate_gmpi,
+    witness_from_linear_solution,
+)
+
+__all__ = [
+    "GeneralizedMPI",
+    "Monomial",
+    "MonomialPolynomialInequality",
+    "MpiDecision",
+    "Polynomial",
+    "decide_mpi",
+    "decide_mpi_via_lp",
+    "phi",
+    "smallest_univariate_solution",
+    "solution_component_bound",
+    "solve_univariate_gmpi",
+    "witness_from_linear_solution",
+]

@@ -1,0 +1,43 @@
+"""Solution-size bounds for integer linear inequality systems (Lemma 5.1).
+
+Lemma 5.1 (a reformulation of a classic result on integer programming,
+see Schrijver / Nemhauser–Wolsey) states that an n-dimensional linear
+inequality system with integer data admits a positive solution iff it admits
+a natural one whose component sum is at most ``6·n³·φ``, where ``φ`` is the
+maximum, over the inequalities, of the sum of the coefficients plus the
+constant term.  The guess-&-check procedure of Theorem 5.1 uses this bound
+to keep the universally guessed vector ``d`` polynomially small.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.linalg.systems import HomogeneousStrictSystem
+
+__all__ = ["solution_component_bound", "phi"]
+
+
+def phi(system: HomogeneousStrictSystem) -> int:
+    """The quantity ``φ`` of Lemma 5.1 for a homogeneous system (constants are 0).
+
+    ``φ = max_i Σ_j a_{i,j}``, clamped from below at 1 so the bound never
+    degenerates (the lemma assumes at least one inequality and positive
+    data; an all-non-positive row sum simply means very small solutions
+    suffice).
+    """
+    if len(system) == 0:
+        return 1
+    maximum = system.max_coefficient_sum()
+    ceiling = -(-maximum.numerator // maximum.denominator) if isinstance(maximum, Fraction) else int(maximum)
+    return max(1, int(ceiling))
+
+
+def solution_component_bound(system: HomogeneousStrictSystem) -> int:
+    """The bound ``6·n³·φ`` on the component sum of a candidate natural solution.
+
+    This is the ``sb(q1(t), q2(x2))``-style bound used by the reference
+    implementation of the Theorem 5.1 guess-&-check decision procedure.
+    """
+    n = max(1, system.dimension)
+    return 6 * n**3 * phi(system)

@@ -1,0 +1,210 @@
+"""Homomorphism and containment-mapping enumeration.
+
+This is the combinatorial engine underneath everything else:
+
+* ``Hom(q, I)`` — homomorphisms of a query into a set instance — drive both
+  set-semantics evaluation and bag-semantics evaluation (Equation 2);
+* ``CM(q2(x2), q1(x1))`` — containment mappings between queries — drive
+  Chandra–Merlin set containment and the polynomial encoding of
+  Definition 3.3.
+
+Both are special cases of one operation: enumerating all substitutions ``h``
+of the variables of a *source* set of atoms such that ``h(α)`` belongs to a
+*target* set of atoms, subject to some pre-fixed bindings (for containment
+mappings the head of the source must map to the head of the target).  The
+enumeration is a backtracking search over source atoms, with the target
+indexed by relation name and the next atom chosen greedily by the number of
+remaining candidate facts (a classic fail-first heuristic).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.instances import SetInstance
+from repro.relational.substitutions import Substitution, unify_tuples
+from repro.relational.terms import Term, Variable, is_constant_like
+
+__all__ = [
+    "homomorphisms",
+    "count_homomorphisms",
+    "query_homomorphisms",
+    "containment_mappings",
+    "containment_mappings_to_ground",
+    "has_homomorphism",
+]
+
+
+def _match_atom(atom: Atom, target: Atom, bindings: dict[Variable, Term]) -> dict[Variable, Term] | None:
+    """Try to extend *bindings* so that the source *atom* maps onto *target*.
+
+    Returns the extended bindings (a new dict) on success, ``None`` on
+    failure.  Constants in the source must equal the corresponding target
+    term; source variables may map to any target term but must do so
+    consistently.
+    """
+    if atom.relation != target.relation or atom.arity != target.arity:
+        return None
+    extended = dict(bindings)
+    for source_term, target_term in zip(atom.terms, target.terms):
+        if isinstance(source_term, Variable):
+            bound = extended.get(source_term)
+            if bound is None:
+                extended[source_term] = target_term
+            elif bound != target_term:
+                return None
+        elif source_term != target_term:
+            return None
+    return extended
+
+
+def homomorphisms(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+) -> Iterator[Substitution]:
+    """Enumerate all homomorphisms from *source_atoms* into *target_atoms*.
+
+    A homomorphism is a substitution ``h`` defined on every variable of the
+    source such that ``h(α)`` is an element of the target for every source
+    atom ``α``.  Pre-fixed bindings (*fixed*) are honoured and included in
+    the yielded substitutions.  Target atoms may themselves contain
+    variables (needed for containment mappings between non-ground queries).
+    """
+    source = list(dict.fromkeys(source_atoms))
+    target = list(dict.fromkeys(target_atoms))
+
+    by_relation: dict[str, list[Atom]] = {}
+    for atom in target:
+        by_relation.setdefault(atom.relation, []).append(atom)
+
+    initial: dict[Variable, Term] = dict(fixed or {})
+
+    source_variables: set[Variable] = set()
+    for atom in source:
+        source_variables.update(atom.variables())
+
+    def candidate_count(atom: Atom, bindings: dict[Variable, Term]) -> int:
+        count = 0
+        for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
+            if _match_atom(atom, candidate, bindings) is not None:
+                count += 1
+        return count
+
+    def search(remaining: list[Atom], bindings: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
+        if not remaining:
+            yield bindings
+            return
+        # Fail-first: pick the atom with the fewest candidate images.
+        best_index = min(
+            range(len(remaining)), key=lambda index: candidate_count(remaining[index], bindings)
+        )
+        atom = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
+            extended = _match_atom(atom, candidate, bindings)
+            if extended is not None:
+                yield from search(rest, extended)
+
+    for solution in search(source, initial):
+        complete = dict(solution)
+        for variable in source_variables:
+            complete.setdefault(variable, variable)
+        yield Substitution(complete)
+
+
+def has_homomorphism(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+) -> bool:
+    """``True`` when at least one homomorphism exists."""
+    return next(iter(homomorphisms(source_atoms, target_atoms, fixed)), None) is not None
+
+
+def count_homomorphisms(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+) -> int:
+    """Number of homomorphisms from *source_atoms* into *target_atoms*."""
+    return sum(1 for _ in homomorphisms(source_atoms, target_atoms, fixed))
+
+
+def query_homomorphisms(
+    query: ConjunctiveQuery,
+    instance: SetInstance,
+    answer: Sequence[Term] | None = None,
+) -> Iterator[Substitution]:
+    """``Hom(q(x), I)``, optionally restricted to ``h(x) = answer``.
+
+    When *answer* is supplied it must be a tuple of constants of the query's
+    arity; the head variables are pre-bound accordingly (if the binding is
+    inconsistent — e.g. a repeated head variable asked to take two different
+    values — no homomorphism is yielded).
+    """
+    fixed: dict[Variable, Term] = {}
+    if answer is not None:
+        answer = tuple(answer)
+        if len(answer) != query.arity:
+            raise QueryError(
+                f"answer tuple has arity {len(answer)}, query {query.name} has arity {query.arity}"
+            )
+        try:
+            substitution = unify_tuples(query.head, answer)
+        except Exception:
+            return iter(())
+        fixed = {variable: substitution[variable] for variable in substitution}
+    return homomorphisms(query.body_atoms(), instance.facts, fixed)
+
+
+def containment_mappings(
+    containing: ConjunctiveQuery,
+    containee: ConjunctiveQuery,
+) -> Iterator[Substitution]:
+    """``CM(q2(x2), q1(x1))``: containment mappings from *containing* to *containee*.
+
+    A containment mapping is a homomorphism from the body of ``q2`` to the
+    body of ``q1`` mapping the head of ``q2`` onto the head of ``q1``
+    position-wise.  Following Chandra–Merlin, ``q1 ⊑s q2`` iff at least one
+    containment mapping exists.
+    """
+    if containing.arity != containee.arity:
+        return iter(())
+    fixed: dict[Variable, Term] = {}
+    for source_variable, target_term in zip(containing.head, containee.head):
+        bound = fixed.get(source_variable)
+        if bound is not None and bound != target_term:
+            return iter(())
+        fixed[source_variable] = target_term
+    return homomorphisms(containing.body_atoms(), containee.body_atoms(), fixed)
+
+
+def containment_mappings_to_ground(
+    containing: ConjunctiveQuery,
+    grounded_containee: ConjunctiveQuery,
+    probe: Sequence[Term],
+) -> Iterator[Substitution]:
+    """``CM(q2(x2), q1(t))``: mappings of ``q2`` into the grounded containee.
+
+    *grounded_containee* is the Boolean query ``q1(t)`` (its body is ground),
+    and *probe* is the tuple ``t`` itself; the head of ``q2`` is required to
+    map onto ``t`` position-wise.  This matches the paper's abuse of
+    notation ``CM(q2(x2), q1(t))``.
+    """
+    probe = tuple(probe)
+    if containing.arity != len(probe):
+        return iter(())
+    fixed: dict[Variable, Term] = {}
+    for source_term, target_term in zip(containing.head, probe):
+        if isinstance(source_term, Variable):
+            bound = fixed.get(source_term)
+            if bound is not None and bound != target_term:
+                return iter(())
+            fixed[source_term] = target_term
+        elif source_term != target_term:  # pragma: no cover - heads are variables
+            return iter(())
+    return homomorphisms(containing.body_atoms(), grounded_containee.body_atoms(), fixed)

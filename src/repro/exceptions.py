@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Specific subclasses distinguish the layer the
+error originates from (relational substrate, query model, Diophantine layer,
+containment decision procedures, parsing, and the command line interface).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class RelationalError(ReproError):
+    """Errors raised by the relational substrate (terms, atoms, instances)."""
+
+
+class ArityMismatchError(RelationalError):
+    """An atom or fact was built with a number of terms different from the
+    arity declared by its relation schema."""
+
+
+class InvalidTermError(RelationalError):
+    """A term of the wrong kind was supplied (e.g. a variable where a
+    constant was required, or a non-term object altogether)."""
+
+
+class SubstitutionError(RelationalError):
+    """A substitution was applied or composed in an inconsistent way, for
+    example when two bindings for the same variable conflict."""
+
+
+class InstanceError(RelationalError):
+    """A set or bag instance was constructed or updated inconsistently, for
+    instance with a negative multiplicity."""
+
+
+class QueryError(ReproError):
+    """Errors raised by the query model."""
+
+
+class NotProjectionFreeError(QueryError):
+    """An operation that requires a projection-free conjunctive query was
+    invoked on a query with existential variables."""
+
+
+class UnificationError(QueryError):
+    """A tuple of terms could not be unified with the free variables of a
+    query (needed to ground a query on a probe tuple)."""
+
+
+class ParseError(QueryError):
+    """The datalog-style parser could not interpret its input."""
+
+
+class DiophantineError(ReproError):
+    """Errors raised by the Diophantine layer (monomials, polynomials, MPIs,
+    linear systems)."""
+
+
+class DimensionMismatchError(DiophantineError):
+    """Two exponent vectors, or a vector and a system, have incompatible
+    dimensions."""
+
+
+class LinearSystemError(DiophantineError):
+    """A homogeneous linear inequality system was malformed or a solver was
+    asked for a witness of an infeasible system."""
+
+
+class ContainmentError(ReproError):
+    """Errors raised by the containment decision procedures."""
+
+
+class CertificateError(ContainmentError):
+    """A counterexample certificate failed to verify, which indicates an
+    internal inconsistency of the decision procedure."""
+
+
+class WorkloadError(ReproError):
+    """Errors raised by the workload generators."""
+
+
+class CliError(ReproError):
+    """Errors raised by the command line interface."""

@@ -1,0 +1,288 @@
+"""JSON (de)serialisation of the library's value objects.
+
+Workloads, regression corpora and decision results need to be stored and
+exchanged; this module provides a stable, versioned JSON representation for
+terms, atoms, queries, set/bag instances, answer bags and containment
+results, together with file helpers.
+
+The encoding is intentionally explicit (every object carries a ``"kind"``
+tag) so files remain readable and future-proof::
+
+    {"kind": "cq", "name": "q", "head": [...], "body": [{"atom": ..., "multiplicity": 2}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.certificates import ContainmentCounterexample
+from repro.core.decision import BagContainmentResult
+from repro.evaluation.bag_evaluation import AnswerBag
+from repro.exceptions import ReproError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance, SetInstance
+from repro.relational.terms import CanonicalConstant, Constant, Term, Variable
+
+__all__ = [
+    "term_to_dict",
+    "term_from_dict",
+    "atom_to_dict",
+    "atom_from_dict",
+    "query_to_dict",
+    "query_from_dict",
+    "ucq_to_dict",
+    "ucq_from_dict",
+    "set_instance_to_dict",
+    "set_instance_from_dict",
+    "bag_instance_to_dict",
+    "bag_instance_from_dict",
+    "answer_bag_to_dict",
+    "counterexample_to_dict",
+    "counterexample_from_dict",
+    "result_to_dict",
+    "dump_json",
+    "load_json",
+    "save_queries",
+    "load_queries",
+]
+
+#: Format version written into every top-level document.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised when a JSON document cannot be decoded into library objects."""
+
+
+# --------------------------------------------------------------------------- #
+# Terms
+# --------------------------------------------------------------------------- #
+def term_to_dict(term: Term) -> dict[str, Any]:
+    """Encode a term as a tagged dictionary."""
+    if isinstance(term, Variable):
+        return {"kind": "variable", "name": term.name}
+    if isinstance(term, CanonicalConstant):
+        return {"kind": "canonical", "variable": term.variable_name}
+    if isinstance(term, Constant):
+        return {"kind": "constant", "value": term.value}
+    raise SerializationError(f"cannot serialise term {term!r}")
+
+
+def term_from_dict(document: dict[str, Any]) -> Term:
+    """Decode a term from its tagged dictionary."""
+    kind = document.get("kind")
+    if kind == "variable":
+        return Variable(document["name"])
+    if kind == "canonical":
+        return CanonicalConstant(document["variable"])
+    if kind == "constant":
+        return Constant(document["value"])
+    raise SerializationError(f"unknown term kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Atoms and instances
+# --------------------------------------------------------------------------- #
+def atom_to_dict(atom: Atom) -> dict[str, Any]:
+    """Encode an atom."""
+    return {
+        "kind": "atom",
+        "relation": atom.relation,
+        "terms": [term_to_dict(term) for term in atom.terms],
+    }
+
+
+def atom_from_dict(document: dict[str, Any]) -> Atom:
+    """Decode an atom."""
+    if document.get("kind") != "atom":
+        raise SerializationError(f"expected an atom document, got {document.get('kind')!r}")
+    return Atom(document["relation"], tuple(term_from_dict(term) for term in document["terms"]))
+
+
+def set_instance_to_dict(instance: SetInstance) -> dict[str, Any]:
+    """Encode a set instance."""
+    return {"kind": "set_instance", "facts": [atom_to_dict(fact) for fact in instance]}
+
+
+def set_instance_from_dict(document: dict[str, Any]) -> SetInstance:
+    """Decode a set instance."""
+    if document.get("kind") != "set_instance":
+        raise SerializationError("expected a set_instance document")
+    return SetInstance(atom_from_dict(fact) for fact in document["facts"])
+
+
+def bag_instance_to_dict(bag: BagInstance) -> dict[str, Any]:
+    """Encode a bag instance."""
+    return {
+        "kind": "bag_instance",
+        "facts": [
+            {"atom": atom_to_dict(fact), "multiplicity": count} for fact, count in bag.items()
+        ],
+    }
+
+
+def bag_instance_from_dict(document: dict[str, Any]) -> BagInstance:
+    """Decode a bag instance."""
+    if document.get("kind") != "bag_instance":
+        raise SerializationError("expected a bag_instance document")
+    return BagInstance(
+        {atom_from_dict(entry["atom"]): int(entry["multiplicity"]) for entry in document["facts"]}
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+def query_to_dict(query: ConjunctiveQuery) -> dict[str, Any]:
+    """Encode a conjunctive query (head, body multiplicities, name)."""
+    return {
+        "kind": "cq",
+        "name": query.name,
+        "head": [term_to_dict(variable) for variable in query.head],
+        "body": [
+            {"atom": atom_to_dict(atom), "multiplicity": multiplicity}
+            for atom, multiplicity in query.body.items()
+        ],
+    }
+
+
+def query_from_dict(document: dict[str, Any]) -> ConjunctiveQuery:
+    """Decode a conjunctive query."""
+    if document.get("kind") != "cq":
+        raise SerializationError(f"expected a cq document, got {document.get('kind')!r}")
+    head = []
+    for entry in document["head"]:
+        term = term_from_dict(entry)
+        if not isinstance(term, Variable):
+            raise SerializationError(f"head positions must decode to variables, got {term!r}")
+        head.append(term)
+    body = {
+        atom_from_dict(entry["atom"]): int(entry["multiplicity"]) for entry in document["body"]
+    }
+    return ConjunctiveQuery(tuple(head), body, name=document.get("name", "q"))
+
+
+def ucq_to_dict(ucq: UnionOfConjunctiveQueries) -> dict[str, Any]:
+    """Encode a union of conjunctive queries."""
+    return {
+        "kind": "ucq",
+        "name": ucq.name,
+        "disjuncts": [query_to_dict(disjunct) for disjunct in ucq],
+    }
+
+
+def ucq_from_dict(document: dict[str, Any]) -> UnionOfConjunctiveQueries:
+    """Decode a union of conjunctive queries."""
+    if document.get("kind") != "ucq":
+        raise SerializationError("expected a ucq document")
+    return UnionOfConjunctiveQueries(
+        [query_from_dict(entry) for entry in document["disjuncts"]],
+        name=document.get("name", "Q"),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+def answer_bag_to_dict(answers: AnswerBag) -> dict[str, Any]:
+    """Encode an answer bag as a list of (tuple, multiplicity) entries."""
+    return {
+        "kind": "answer_bag",
+        "answers": [
+            {"tuple": [term_to_dict(term) for term in answer], "multiplicity": count}
+            for answer, count in answers.items()
+        ],
+    }
+
+
+def counterexample_to_dict(certificate: ContainmentCounterexample) -> dict[str, Any]:
+    """Encode a counterexample certificate."""
+    return {
+        "kind": "counterexample",
+        "probe": [term_to_dict(term) for term in certificate.probe],
+        "bag": bag_instance_to_dict(certificate.bag),
+        "containee_multiplicity": certificate.containee_multiplicity,
+        "containing_multiplicity": certificate.containing_multiplicity,
+    }
+
+
+def counterexample_from_dict(document: dict[str, Any]) -> ContainmentCounterexample:
+    """Decode a counterexample certificate."""
+    if document.get("kind") != "counterexample":
+        raise SerializationError("expected a counterexample document")
+    return ContainmentCounterexample(
+        probe=tuple(term_from_dict(term) for term in document["probe"]),
+        bag=bag_instance_from_dict(document["bag"]),
+        containee_multiplicity=int(document["containee_multiplicity"]),
+        containing_multiplicity=int(document["containing_multiplicity"]),
+    )
+
+
+def result_to_dict(result: BagContainmentResult) -> dict[str, Any]:
+    """Encode a containment result (verdict, strategy, reason, certificate).
+
+    The MPI encodings are summarised (dimensions and mapping counts) rather
+    than fully serialised: they can be regenerated from the queries.
+    """
+    return {
+        "kind": "bag_containment_result",
+        "version": FORMAT_VERSION,
+        "contained": result.contained,
+        "strategy": result.strategy,
+        "reason": result.reason,
+        "containee": query_to_dict(result.containee),
+        "containing": query_to_dict(result.containing),
+        "counterexample": (
+            counterexample_to_dict(result.counterexample)
+            if result.counterexample is not None
+            else None
+        ),
+        "encodings": [
+            {
+                "probe": [term_to_dict(term) for term in encoding.probe],
+                "dimension": encoding.dimension,
+                "num_mappings": encoding.num_mappings,
+            }
+            for encoding in result.encodings
+        ],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# File helpers
+# --------------------------------------------------------------------------- #
+def dump_json(document: dict[str, Any], path: str | Path) -> Path:
+    """Write a document to *path* with a stable, human-readable layout."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a JSON document from *path*."""
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} does not contain valid JSON: {exc}") from exc
+
+
+def save_queries(queries: list[ConjunctiveQuery], path: str | Path) -> Path:
+    """Persist a list of queries (a workload) to a JSON file."""
+    document = {
+        "kind": "workload",
+        "version": FORMAT_VERSION,
+        "queries": [query_to_dict(query) for query in queries],
+    }
+    return dump_json(document, path)
+
+
+def load_queries(path: str | Path) -> list[ConjunctiveQuery]:
+    """Load a workload previously written by :func:`save_queries`."""
+    document = load_json(path)
+    if document.get("kind") != "workload":
+        raise SerializationError(f"{path} is not a workload file")
+    return [query_from_dict(entry) for entry in document["queries"]]

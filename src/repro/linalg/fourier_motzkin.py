@@ -1,0 +1,226 @@
+"""Exact Fourier–Motzkin elimination for strict homogeneous systems.
+
+The decision ``∃ ε ∈ Q^n . A·ε > 0`` (all inequalities strict) is made by
+repeatedly eliminating one unknown:
+
+* rows with a positive coefficient on the eliminated unknown become strict
+  *lower* bounds for it, rows with a negative coefficient become strict
+  *upper* bounds, rows with a zero coefficient carry over unchanged;
+* for every (lower, upper) pair the two rows are combined into a new strict
+  row without the unknown;
+* a row whose coefficients are all zero reads ``0 > 0`` and makes the system
+  infeasible.
+
+Because all inequalities are strict, the elimination is exact: the reduced
+system is feasible iff the original one is, and a satisfying assignment of
+the reduced system extends to the eliminated unknown by choosing any value
+strictly between the induced lower and upper bounds.  Back-substitution
+therefore also produces an explicit rational witness.
+
+To keep the classic double-exponential blow-up at bay the implementation
+
+* normalises every row to a primitive integer vector and de-duplicates rows
+  (two rows that are positive multiples of each other encode the same
+  half-space);
+* eliminates, at every step, the unknown minimising the number of
+  lower×upper combinations (the standard min-fill heuristic);
+* enforces a configurable cap on the number of generated rows and raises
+  :class:`LinearSystemError` when it is exceeded, so callers can fall back
+  to the LP-based solver.
+
+The systems arising from monomial–polynomial inequalities in this library
+have as many unknowns as the containee query has atoms, which is small, so
+the exact solver is the default decision path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd, lcm
+from typing import Sequence
+
+from repro.exceptions import LinearSystemError
+from repro.linalg.systems import HomogeneousStrictSystem
+
+__all__ = [
+    "FeasibilityResult",
+    "solve_strict_system",
+    "is_feasible",
+    "feasibility_witness",
+    "DEFAULT_ROW_CAP",
+]
+
+#: Safety cap on the number of rows generated during elimination.
+DEFAULT_ROW_CAP = 200_000
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of a feasibility check, with a rational witness when feasible."""
+
+    feasible: bool
+    witness: tuple[Fraction, ...] | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.feasible
+
+
+_Row = tuple[Fraction, ...]
+
+
+def _normalize(row: _Row) -> _Row | None:
+    """Scale a row to a primitive integer vector; ``None`` for the zero row."""
+    if all(coefficient == 0 for coefficient in row):
+        return None
+    denominator = 1
+    for coefficient in row:
+        denominator = lcm(denominator, coefficient.denominator)
+    integers = [int(coefficient * denominator) for coefficient in row]
+    divisor = 0
+    for value in integers:
+        divisor = gcd(divisor, abs(value))
+    return tuple(Fraction(value // divisor) for value in integers)
+
+
+def _prepare(rows: list[_Row]) -> tuple[list[_Row], bool]:
+    """Normalise and de-duplicate rows; report whether a ``0 > 0`` row was seen."""
+    seen: set[_Row] = set()
+    prepared: list[_Row] = []
+    for row in rows:
+        normalized = _normalize(row)
+        if normalized is None:
+            return [], True
+        if normalized not in seen:
+            seen.add(normalized)
+            prepared.append(normalized)
+    return prepared, False
+
+
+def _pick_variable(rows: list[_Row], active: list[int]) -> int:
+    """Choose the active column whose elimination creates the fewest rows."""
+    best_column = active[0]
+    best_cost: int | None = None
+    for column in active:
+        lowers = sum(1 for row in rows if row[column] > 0)
+        uppers = sum(1 for row in rows if row[column] < 0)
+        cost = lowers * uppers
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_column = column
+    return best_column
+
+
+def _solve(rows: list[_Row], active: list[int], dimension: int, row_cap: int) -> FeasibilityResult:
+    """Recursive Fourier–Motzkin over the *active* columns, with back-substitution.
+
+    Returns a witness defined on **all** columns; inactive columns get 0.
+    """
+    prepared, contradiction = _prepare(rows)
+    if contradiction:
+        return FeasibilityResult(False)
+
+    if not active:
+        # No unknowns left to eliminate; any remaining non-zero row would have
+        # been a contradiction only if all its active coefficients were zero,
+        # which _prepare already detected, so the system is feasible.
+        if prepared:
+            return FeasibilityResult(False)
+        return FeasibilityResult(True, tuple(Fraction(0) for _ in range(dimension)))
+
+    column = _pick_variable(prepared, active)
+    remaining = [other for other in active if other != column]
+
+    lowers = [row for row in prepared if row[column] > 0]
+    uppers = [row for row in prepared if row[column] < 0]
+    reduced = [row for row in prepared if row[column] == 0]
+
+    for lower in lowers:
+        for upper in uppers:
+            p = lower[column]
+            q = upper[column]
+            combined = tuple(
+                (-q) * lower[j] + p * upper[j] if j != column else Fraction(0)
+                for j in range(dimension)
+            )
+            reduced.append(combined)
+            if len(reduced) > row_cap:
+                raise LinearSystemError(
+                    f"Fourier-Motzkin elimination exceeded the row cap of {row_cap}; "
+                    "use the LP-based solver for this system"
+                )
+
+    # Rows in `reduced` still have a zero coefficient on `column`, so they are
+    # genuine constraints over the remaining columns only.
+    inner = _solve(reduced, remaining, dimension, row_cap)
+    if not inner.feasible:
+        return FeasibilityResult(False)
+
+    assert inner.witness is not None
+    witness = list(inner.witness)
+
+    def bound(row: _Row) -> Fraction:
+        rest = sum(
+            (row[j] * witness[j] for j in range(dimension) if j != column), Fraction(0)
+        )
+        return -rest / row[column]
+
+    lower_bounds = [bound(row) for row in lowers]
+    upper_bounds = [bound(row) for row in uppers]
+
+    if lower_bounds and upper_bounds:
+        low = max(lower_bounds)
+        high = min(upper_bounds)
+        if not low < high:  # pragma: no cover - guaranteed by the combined rows
+            raise LinearSystemError("internal error: empty interval during back-substitution")
+        value = (low + high) / 2
+    elif lower_bounds:
+        value = max(lower_bounds) + 1
+    elif upper_bounds:
+        value = min(upper_bounds) - 1
+    else:
+        value = Fraction(0)
+
+    witness[column] = value
+    return FeasibilityResult(True, tuple(witness))
+
+
+def solve_strict_system(
+    system: HomogeneousStrictSystem,
+    require_positive: bool = False,
+    row_cap: int = DEFAULT_ROW_CAP,
+) -> FeasibilityResult:
+    """Decide feasibility of ``A·ε > 0`` (optionally with ``ε > 0``) exactly.
+
+    When *require_positive* is set, the positivity rows ``ε_j > 0`` are added
+    before solving; the witness, if any, is then component-wise positive.
+    """
+    working = system.with_positivity() if require_positive else system
+    result = _solve(
+        list(working.rows), list(range(working.dimension)), working.dimension, row_cap
+    )
+    if result.feasible and result.witness is not None and len(working) > 0:
+        if not working.is_solution(result.witness):  # pragma: no cover - sanity check
+            raise LinearSystemError("internal error: Fourier-Motzkin witness does not verify")
+    return result
+
+
+def is_feasible(
+    system: HomogeneousStrictSystem,
+    require_positive: bool = False,
+    row_cap: int = DEFAULT_ROW_CAP,
+) -> bool:
+    """Boolean shortcut for :func:`solve_strict_system`."""
+    return solve_strict_system(system, require_positive=require_positive, row_cap=row_cap).feasible
+
+
+def feasibility_witness(
+    rows: Sequence[Sequence[object]],
+    dimension: int,
+    require_positive: bool = False,
+    row_cap: int = DEFAULT_ROW_CAP,
+) -> tuple[Fraction, ...] | None:
+    """Convenience wrapper: witness of ``rows·ε > 0`` or ``None`` if infeasible."""
+    system = HomogeneousStrictSystem(rows, dimension)
+    result = solve_strict_system(system, require_positive=require_positive, row_cap=row_cap)
+    return result.witness if result.feasible else None

@@ -1,0 +1,33 @@
+"""Query model: conjunctive queries, unions of CQs, parser, printer, builder."""
+
+from repro.queries.builder import QueryBuilder
+from repro.queries.cq import BodyAtom, ConjunctiveQuery
+from repro.queries.parser import parse_atom, parse_cq, parse_term, parse_ucq
+from repro.queries.printer import (
+    format_answer_bag,
+    format_atom,
+    format_bag_instance,
+    format_query,
+    format_set_instance,
+    format_term,
+    format_ucq,
+)
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+__all__ = [
+    "BodyAtom",
+    "ConjunctiveQuery",
+    "QueryBuilder",
+    "UnionOfConjunctiveQueries",
+    "format_answer_bag",
+    "format_atom",
+    "format_bag_instance",
+    "format_query",
+    "format_set_instance",
+    "format_term",
+    "format_ucq",
+    "parse_atom",
+    "parse_cq",
+    "parse_term",
+    "parse_ucq",
+]

@@ -1,0 +1,87 @@
+"""A fluent builder for conjunctive queries.
+
+The builder is the programmatic alternative to the datalog parser::
+
+    q = (QueryBuilder("q")
+         .head("x1", "x2")
+         .atom("R", "x1", "y1", multiplicity=2)
+         .atom("R", "x1", "y2")
+         .atom("P", "y2", "y3", multiplicity=2)
+         .atom("P", "x2", "y4")
+         .build())
+
+String arguments are interpreted with the same conventions as the parser
+(identifiers starting with ``x y z u v w`` are variables, other identifiers
+and integers are constants, ``?name`` forces a variable).  Already-built
+:class:`Term` objects are accepted verbatim, so the builder composes cleanly
+with hand-constructed terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import DEFAULT_VARIABLE_PREFIXES, parse_term
+from repro.relational.atoms import Atom
+from repro.relational.terms import Term, Variable, is_term
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Incrementally assemble a :class:`ConjunctiveQuery`."""
+
+    def __init__(self, name: str = "q", variable_prefixes: frozenset[str] = DEFAULT_VARIABLE_PREFIXES) -> None:
+        self._name = name
+        self._variable_prefixes = variable_prefixes
+        self._head: list[Variable] = []
+        self._body: dict[Atom, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Term coercion
+    # ------------------------------------------------------------------ #
+    def _coerce(self, value: object) -> Term:
+        if is_term(value):
+            return value  # type: ignore[return-value]
+        if isinstance(value, str):
+            return parse_term(value, self._variable_prefixes)
+        return parse_term(repr(value) if not isinstance(value, int) else str(value), self._variable_prefixes)
+
+    def _coerce_variable(self, value: object) -> Variable:
+        term = self._coerce(value)
+        if not isinstance(term, Variable):
+            raise QueryError(f"head positions must be variables, got {term!r}")
+        return term
+
+    # ------------------------------------------------------------------ #
+    # Fluent API
+    # ------------------------------------------------------------------ #
+    def head(self, *variables: object) -> "QueryBuilder":
+        """Set (replace) the head variables."""
+        self._head = [self._coerce_variable(variable) for variable in variables]
+        return self
+
+    def add_head(self, variable: object) -> "QueryBuilder":
+        """Append a single head variable."""
+        self._head.append(self._coerce_variable(variable))
+        return self
+
+    def atom(self, relation: str, *terms: object, multiplicity: int = 1) -> "QueryBuilder":
+        """Add ``multiplicity`` occurrences of ``relation(terms...)`` to the body."""
+        if multiplicity < 1:
+            raise QueryError(f"multiplicity must be positive, got {multiplicity}")
+        built = Atom(relation, tuple(self._coerce(term) for term in terms))
+        self._body[built] = self._body.get(built, 0) + multiplicity
+        return self
+
+    def atoms(self, atoms: Iterable[Atom]) -> "QueryBuilder":
+        """Add already-built atoms (each occurrence counts once)."""
+        for atom in atoms:
+            self._body[atom] = self._body.get(atom, 0) + 1
+        return self
+
+    def build(self) -> ConjunctiveQuery:
+        """Produce the immutable query; the builder can keep being used."""
+        return ConjunctiveQuery(tuple(self._head), dict(self._body), name=self._name)

@@ -1,0 +1,154 @@
+"""A small datalog-style parser for conjunctive queries.
+
+The concrete syntax mirrors the notation of the paper::
+
+    q(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4)
+
+* ``<-`` (or ``:-``) separates the head from the body;
+* ``R^2(...)`` annotates the atom with its body multiplicity (default ``1``);
+  repeating an atom also adds up multiplicities;
+* terms starting with ``?`` are always variables; quoted tokens (``'a'`` or
+  ``"a"``) and integers are always constants; bare identifiers are variables
+  when their first letter belongs to ``variable_prefixes`` (by default
+  ``x y z u v w`` in either case) and constants otherwise — which matches
+  the paper's habit of naming variables ``x1, y2`` and constants ``a, b, c1``.
+
+Multiple rules separated by newlines or ``;`` parse to a UCQ via
+:func:`parse_ucq`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.exceptions import ParseError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Term, Variable
+
+__all__ = ["parse_cq", "parse_ucq", "parse_term", "parse_atom", "DEFAULT_VARIABLE_PREFIXES"]
+
+#: First letters (lower-cased) of bare identifiers that are read as variables.
+DEFAULT_VARIABLE_PREFIXES: frozenset[str] = frozenset("xyzuvw")
+
+_ATOM_RE = re.compile(
+    r"\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*(?:\^\s*(?P<mult>\d+))?\s*\((?P<args>[^()]*)\)\s*"
+)
+_HEAD_RE = re.compile(r"\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*\((?P<args>[^()]*)\)\s*$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+
+
+def parse_term(token: str, variable_prefixes: frozenset[str] = DEFAULT_VARIABLE_PREFIXES) -> Term:
+    """Parse a single term token into a :class:`Variable` or :class:`Constant`."""
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if token.startswith("?"):
+        name = token[1:]
+        if not name:
+            raise ParseError("'?' must be followed by a variable name")
+        return Variable(name)
+    if (token[0] == token[-1] == "'" or token[0] == token[-1] == '"') and len(token) >= 2:
+        return Constant(token[1:-1])
+    if _INT_RE.match(token):
+        return Constant(int(token))
+    if not re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token):
+        raise ParseError(f"cannot parse term {token!r}")
+    if token[0].lower() in variable_prefixes:
+        return Variable(token)
+    return Constant(token)
+
+
+def _parse_args(args: str, variable_prefixes: frozenset[str]) -> tuple[Term, ...]:
+    args = args.strip()
+    if not args:
+        return ()
+    return tuple(parse_term(token, variable_prefixes) for token in args.split(","))
+
+
+def parse_atom(
+    text: str, variable_prefixes: frozenset[str] = DEFAULT_VARIABLE_PREFIXES
+) -> tuple[Atom, int]:
+    """Parse ``R^k(t1, ..., tn)`` into an atom and its multiplicity ``k``."""
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ParseError(f"cannot parse atom {text!r}")
+    multiplicity = int(match.group("mult") or 1)
+    terms = _parse_args(match.group("args"), variable_prefixes)
+    return Atom(match.group("name"), terms), multiplicity
+
+
+def _split_atoms(body: str) -> list[str]:
+    """Split the body on commas that are not nested inside parentheses."""
+    chunks: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {body!r}")
+        if char == "," and depth == 0:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {body!r}")
+    if current:
+        chunks.append("".join(current))
+    return [chunk for chunk in (c.strip() for c in chunks) if chunk]
+
+
+def parse_cq(
+    text: str,
+    variable_prefixes: frozenset[str] = DEFAULT_VARIABLE_PREFIXES,
+) -> ConjunctiveQuery:
+    """Parse a single datalog rule into a :class:`ConjunctiveQuery`."""
+    if "<-" in text:
+        head_text, body_text = text.split("<-", 1)
+    elif ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        raise ParseError(f"missing '<-' in rule {text!r}")
+
+    head_match = _HEAD_RE.fullmatch(head_text)
+    if not head_match:
+        raise ParseError(f"cannot parse head {head_text!r}")
+    head_terms = _parse_args(head_match.group("args"), variable_prefixes)
+    head_variables: list[Variable] = []
+    for term in head_terms:
+        if not isinstance(term, Variable):
+            raise ParseError(
+                f"head terms must be variables, got {term!r}; ground the query after parsing instead"
+            )
+        head_variables.append(term)
+
+    counts: dict[Atom, int] = {}
+    for chunk in _split_atoms(body_text):
+        atom, multiplicity = parse_atom(chunk, variable_prefixes)
+        counts[atom] = counts.get(atom, 0) + multiplicity
+    if not counts:
+        raise ParseError(f"rule {text!r} has an empty body")
+
+    return ConjunctiveQuery(tuple(head_variables), counts, name=head_match.group("name"))
+
+
+def parse_ucq(
+    rules: str | Iterable[str],
+    variable_prefixes: frozenset[str] = DEFAULT_VARIABLE_PREFIXES,
+    name: str = "Q",
+) -> UnionOfConjunctiveQueries:
+    """Parse several rules (newline- or ``;``-separated) into a UCQ."""
+    if isinstance(rules, str):
+        pieces: Sequence[str] = [piece for piece in re.split(r"[;\n]", rules) if piece.strip()]
+    else:
+        pieces = list(rules)
+    disjuncts = [parse_cq(piece, variable_prefixes) for piece in pieces]
+    if not disjuncts:
+        raise ParseError("no rules supplied")
+    return UnionOfConjunctiveQueries(disjuncts, name=name)

@@ -1,0 +1,110 @@
+"""Unions of conjunctive queries (UCQs).
+
+UCQs play two roles in the reproduction:
+
+* they are the query class for which Ioannidis and Ramakrishnan proved bag
+  containment *undecidable* (via a reduction from the Diophantine inequality
+  problem) — the constructive encoder for that reduction lives in
+  :mod:`repro.core.reductions` and produces :class:`UnionOfConjunctiveQueries`
+  objects;
+* they are a convenient workload class for exercising the bag-evaluation
+  engine (the bag answer of a UCQ is the pointwise *sum* of the bag answers
+  of its disjuncts, following Chaudhuri and Vardi).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.relational.terms import Variable
+
+__all__ = ["UnionOfConjunctiveQueries"]
+
+
+class UnionOfConjunctiveQueries:
+    """A finite union ``q = q_1 ∪ ... ∪ q_k`` of conjunctive queries.
+
+    All disjuncts must have the same arity.  The head variable *names* may
+    differ across disjuncts (each disjunct keeps its own head); what matters
+    for evaluation is the sequence of answers positions.
+    """
+
+    __slots__ = ("_disjuncts", "_name")
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery], name: str = "Q") -> None:
+        disjunct_list = tuple(disjuncts)
+        if not disjunct_list:
+            raise QueryError("a UCQ needs at least one disjunct")
+        arities = {query.arity for query in disjunct_list}
+        if len(arities) != 1:
+            raise QueryError(f"all disjuncts of a UCQ must share the same arity, got {sorted(arities)}")
+        self._disjuncts = disjunct_list
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Display name of the UCQ."""
+        return self._name
+
+    @property
+    def disjuncts(self) -> tuple[ConjunctiveQuery, ...]:
+        """The member CQs, in order."""
+        return self._disjuncts
+
+    @property
+    def arity(self) -> int:
+        """Common arity of all disjuncts."""
+        return self._disjuncts[0].arity
+
+    def variables(self) -> frozenset[Variable]:
+        """Union of the variables of all disjuncts."""
+        result: set[Variable] = set()
+        for query in self._disjuncts:
+            result.update(query.variables())
+        return frozenset(result)
+
+    def relation_names(self) -> frozenset[str]:
+        """Union of the relation names used by the disjuncts."""
+        result: set[str] = set()
+        for query in self._disjuncts:
+            result.update(query.relation_names())
+        return frozenset(result)
+
+    def schema(self) -> DatabaseSchema:
+        """Schema induced by all disjunct bodies (arities must agree)."""
+        schema = self._disjuncts[0].schema()
+        for query in self._disjuncts[1:]:
+            schema = schema.union(query.schema())
+        return schema
+
+    def is_projection_free(self) -> bool:
+        """``True`` when every disjunct is projection-free."""
+        return all(query.is_projection_free() for query in self._disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionOfConjunctiveQueries):
+            return NotImplemented
+        return self._disjuncts == other._disjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._disjuncts)
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(query) for query in self._disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries({self._name!r}, {len(self._disjuncts)} disjuncts)"
+
+    @classmethod
+    def of(cls, *disjuncts: ConjunctiveQuery, name: str = "Q") -> "UnionOfConjunctiveQueries":
+        """Variadic constructor: ``UnionOfConjunctiveQueries.of(q1, q2)``."""
+        return cls(disjuncts, name=name)

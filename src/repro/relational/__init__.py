@@ -1,0 +1,40 @@
+"""Relational substrate: terms, atoms, schemas, substitutions, instances."""
+
+from repro.relational.atoms import Atom, RelationSchema, make_atom
+from repro.relational.instances import BagInstance, SetInstance
+from repro.relational.schema import DatabaseSchema
+from repro.relational.substitutions import Substitution, canonical_substitution, unify_tuples
+from repro.relational.terms import (
+    CanonicalConstant,
+    Constant,
+    Term,
+    Variable,
+    canonical,
+    decanonical,
+    is_constant_like,
+    is_term,
+    make_constants,
+    make_variables,
+)
+
+__all__ = [
+    "Atom",
+    "BagInstance",
+    "CanonicalConstant",
+    "Constant",
+    "DatabaseSchema",
+    "RelationSchema",
+    "SetInstance",
+    "Substitution",
+    "Term",
+    "Variable",
+    "canonical",
+    "canonical_substitution",
+    "decanonical",
+    "is_constant_like",
+    "is_term",
+    "make_atom",
+    "make_constants",
+    "make_variables",
+    "unify_tuples",
+]

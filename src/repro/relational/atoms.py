@@ -1,0 +1,136 @@
+"""Atoms, facts and relation schemas.
+
+An *atom* is an expression ``R(t1, ..., tn)`` where ``R`` is a relation name
+of arity ``n`` and the ``ti`` are terms.  A *fact* (a ground atom) is an atom
+whose terms are all constants (language or canonical).  A *relation schema*
+pairs a relation name with its arity, and a set of relation schemas forms a
+:class:`repro.relational.schema.DatabaseSchema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import ArityMismatchError, InvalidTermError
+from repro.relational.terms import (
+    CanonicalConstant,
+    Constant,
+    Term,
+    Variable,
+    is_constant_like,
+    is_term,
+)
+
+__all__ = ["RelationSchema", "Atom", "make_atom"]
+
+
+@dataclass(frozen=True, order=True)
+class RelationSchema:
+    """A relation name together with its arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidTermError(f"relation name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.arity, int) or self.arity < 0:
+            raise ArityMismatchError(f"arity must be a non-negative integer, got {self.arity!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}/{self.arity}"
+
+    def __call__(self, *terms: Term) -> "Atom":
+        """Build an atom over this schema: ``R = RelationSchema("R", 2); R(x, y)``."""
+        return Atom(self.name, tuple(terms))
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """An atom ``R(t1, ..., tn)``.
+
+    Atoms are immutable and hashable; bodies of conjunctive queries and
+    database instances are (multi)sets of atoms.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.relation, str) or not self.relation:
+            raise InvalidTermError(
+                f"relation name must be a non-empty string, got {self.relation!r}"
+            )
+        terms = tuple(self.terms)
+        for term in terms:
+            if not is_term(term):
+                raise InvalidTermError(f"{term!r} is not a term")
+        object.__setattr__(self, "terms", terms)
+
+    # ------------------------------------------------------------------ #
+    # Structural information
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        """Number of argument positions of the atom."""
+        return len(self.terms)
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation schema this atom conforms to."""
+        return RelationSchema(self.relation, self.arity)
+
+    @property
+    def is_ground(self) -> bool:
+        """``True`` when every term is a constant, i.e. the atom is a fact."""
+        return all(is_constant_like(term) for term in self.terms)
+
+    def variables(self) -> frozenset[Variable]:
+        """The set of variables occurring in the atom."""
+        return frozenset(term for term in self.terms if isinstance(term, Variable))
+
+    def constants(self) -> frozenset[Term]:
+        """The set of constants (language or canonical) occurring in the atom."""
+        return frozenset(term for term in self.terms if is_constant_like(term))
+
+    def language_constants(self) -> frozenset[Constant]:
+        """The set of language constants occurring in the atom."""
+        return frozenset(term for term in self.terms if isinstance(term, Constant))
+
+    def canonical_constants(self) -> frozenset[CanonicalConstant]:
+        """The set of canonical constants occurring in the atom."""
+        return frozenset(term for term in self.terms if isinstance(term, CanonicalConstant))
+
+    # ------------------------------------------------------------------ #
+    # Iteration / display
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for term in self.terms)
+        return f"{self.relation}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.relation!r}, {self.terms!r})"
+
+
+def make_atom(relation: str, terms: Iterable[object]) -> Atom:
+    """Build an atom, coercing raw Python values into terms.
+
+    Strings that start with ``x``, ``y``, ``z``, ``u``, ``v`` or ``w`` *and*
+    are not explicitly wrapped are **not** auto-coerced into variables here —
+    coercion rules of that sort belong to the parser.  This helper only wraps
+    raw hashable values that are not already terms into :class:`Constant`.
+    """
+    coerced: list[Term] = []
+    for term in terms:
+        if is_term(term):
+            coerced.append(term)  # type: ignore[arg-type]
+        else:
+            coerced.append(Constant(term))
+    return Atom(relation, tuple(coerced))

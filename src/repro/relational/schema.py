@@ -1,0 +1,117 @@
+"""Database schemas: named collections of relation schemas.
+
+A :class:`DatabaseSchema` is a finite set of :class:`RelationSchema` objects
+with distinct names.  Queries and instances can be validated against a schema
+(same relation names, consistent arities), which is how a production system
+would catch typos in query workloads early.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import ArityMismatchError, RelationalError
+from repro.relational.atoms import Atom, RelationSchema
+
+__all__ = ["DatabaseSchema"]
+
+
+class DatabaseSchema:
+    """An immutable set of relation schemas, indexed by relation name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        by_name: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if not isinstance(relation, RelationSchema):
+                raise RelationalError(f"{relation!r} is not a RelationSchema")
+            existing = by_name.get(relation.name)
+            if existing is not None and existing.arity != relation.arity:
+                raise ArityMismatchError(
+                    f"relation {relation.name!r} declared with conflicting arities "
+                    f"{existing.arity} and {relation.arity}"
+                )
+            by_name[relation.name] = relation
+        self._relations: dict[str, RelationSchema] = dict(sorted(by_name.items()))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "DatabaseSchema":
+        """Build a schema from a ``{name: arity}`` mapping."""
+        return cls(RelationSchema(name, arity) for name, arity in arities.items())
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "DatabaseSchema":
+        """Infer the schema used by a collection of atoms.
+
+        Raises :class:`ArityMismatchError` if the same relation name is used
+        with two different arities.
+        """
+        return cls(atom.schema for atom in atoms)
+
+    def union(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """The smallest schema containing both operands (arities must agree)."""
+        return DatabaseSchema(list(self) + list(other))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def arity_of(self, name: str) -> int:
+        """Arity of the relation *name*; raises ``KeyError`` if unknown."""
+        return self._relations[name].arity
+
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(self._relations)
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Check that *atom* uses a declared relation with the right arity."""
+        if atom.relation not in self._relations:
+            raise RelationalError(f"relation {atom.relation!r} is not part of the schema")
+        expected = self._relations[atom.relation].arity
+        if atom.arity != expected:
+            raise ArityMismatchError(
+                f"atom {atom} has arity {atom.arity}, schema declares {expected}"
+            )
+
+    def validate_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Validate every atom of an iterable against the schema."""
+        for atom in atoms:
+            self.validate_atom(atom)
+
+    def is_compatible_with(self, atoms: Iterable[Atom]) -> bool:
+        """``True`` when every atom validates, ``False`` otherwise."""
+        try:
+            self.validate_atoms(atoms)
+        except RelationalError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, RelationSchema):
+            return self._relations.get(name.name) == name
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(relation) for relation in self)
+        return f"DatabaseSchema({{{inner}}})"

@@ -1,0 +1,156 @@
+"""Terms of the relational language: variables and constants.
+
+The paper distinguishes three kinds of terms:
+
+* *variables* (``x``, ``y1`` ...), drawn from a countably infinite set ``X``;
+* *language constants* (``c1``, ``'a'`` ...), the ordinary constants that may
+  appear in queries and database instances;
+* *canonical constants* (written ``x̂`` in the paper), a set of constants
+  disjoint from the language constants that is in bijection with the
+  variables.  Canonical constants are used to "freeze" the variables of a
+  query when building its canonical instance and its probe tuples.
+
+All three are immutable, hashable value objects so they can be used freely as
+dictionary keys and members of frozensets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import InvalidTermError
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "CanonicalConstant",
+    "Term",
+    "is_term",
+    "is_constant_like",
+    "canonical",
+    "decanonical",
+    "make_variables",
+    "make_constants",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable.
+
+    Variables are identified purely by their name: two ``Variable`` objects
+    with the same name are equal and interchangeable.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise InvalidTermError(f"variable name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A language constant.
+
+    Constants carry an arbitrary hashable ``value`` (typically a string or an
+    integer).  Two constants are equal exactly when their values are equal.
+    """
+
+    value: object
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.value)
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise InvalidTermError(f"constant value must be hashable, got {self.value!r}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+@dataclass(frozen=True, order=True)
+class CanonicalConstant:
+    """The canonical constant ``x̂`` associated with the variable ``x``.
+
+    Canonical constants form the set ``Cc`` of the paper: they behave exactly
+    like constants (they may appear in facts and instances) but are kept
+    disjoint from the language constants ``Cl`` so that the bijection with
+    the variables can always be inverted via :func:`decanonical`.
+    """
+
+    variable_name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variable_name, str) or not self.variable_name:
+            raise InvalidTermError(
+                f"canonical constant needs a non-empty variable name, got {self.variable_name!r}"
+            )
+
+    @property
+    def variable(self) -> Variable:
+        """The variable this canonical constant freezes."""
+        return Variable(self.variable_name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"^{self.variable_name}"
+
+    def __repr__(self) -> str:
+        return f"CanonicalConstant({self.variable_name!r})"
+
+
+#: Any term of the language.
+Term = Union[Variable, Constant, CanonicalConstant]
+
+
+def is_term(obj: object) -> bool:
+    """Return ``True`` when *obj* is a :data:`Term`."""
+    return isinstance(obj, (Variable, Constant, CanonicalConstant))
+
+
+def is_constant_like(obj: object) -> bool:
+    """Return ``True`` when *obj* is a constant (language or canonical).
+
+    Constant-like terms are exactly those that may appear in facts and in
+    database instances.
+    """
+    return isinstance(obj, (Constant, CanonicalConstant))
+
+
+def canonical(variable: Variable) -> CanonicalConstant:
+    """Return the canonical constant ``x̂`` for the variable ``x``.
+
+    This implements the ``can(·)`` operator of the paper for a single
+    variable; :func:`repro.queries.cq.ConjunctiveQuery.canonical_instance`
+    lifts it to whole queries.
+    """
+    if not isinstance(variable, Variable):
+        raise InvalidTermError(f"canonical() expects a Variable, got {variable!r}")
+    return CanonicalConstant(variable.name)
+
+
+def decanonical(constant: CanonicalConstant) -> Variable:
+    """Invert :func:`canonical`: return the variable frozen by *constant*."""
+    if not isinstance(constant, CanonicalConstant):
+        raise InvalidTermError(f"decanonical() expects a CanonicalConstant, got {constant!r}")
+    return constant.variable
+
+
+def make_variables(*names: str) -> tuple[Variable, ...]:
+    """Convenience constructor: ``make_variables("x", "y")`` -> two variables."""
+    return tuple(Variable(name) for name in names)
+
+
+def make_constants(*values: object) -> tuple[Constant, ...]:
+    """Convenience constructor: ``make_constants("a", 1)`` -> two constants."""
+    return tuple(Constant(value) for value in values)

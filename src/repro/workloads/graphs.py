@@ -1,0 +1,109 @@
+"""Graph workloads for the 3-colourability hardness family (Theorem 5.4).
+
+Graphs are plain edge lists; :mod:`networkx` is used for the generators of
+random and structured graphs and for an independent 3-colourability check
+(greedy colouring can only give an upper bound, so the exact check is a
+small backtracking search — the graphs in the workloads are tiny).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "Edge",
+    "cycle_graph",
+    "complete_graph",
+    "wheel_graph",
+    "petersen_graph",
+    "random_graph",
+    "bipartite_graph",
+    "is_three_colorable",
+]
+
+Edge = tuple[Hashable, Hashable]
+
+
+def _edges_of(graph: nx.Graph) -> list[Edge]:
+    return [(source, target) for source, target in graph.edges()]
+
+
+def cycle_graph(length: int) -> list[Edge]:
+    """The cycle on *length* vertices (3-colourable; 2-colourable iff even)."""
+    if length < 3:
+        raise WorkloadError("cycle graphs need at least three vertices")
+    return _edges_of(nx.cycle_graph(length))
+
+
+def complete_graph(size: int) -> list[Edge]:
+    """The complete graph ``K_size`` (3-colourable iff ``size ≤ 3``)."""
+    if size < 2:
+        raise WorkloadError("complete graphs need at least two vertices")
+    return _edges_of(nx.complete_graph(size))
+
+
+def wheel_graph(size: int) -> list[Edge]:
+    """The wheel on ``size`` rim vertices (3-colourable iff the rim is even)."""
+    if size < 3:
+        raise WorkloadError("wheel graphs need at least three rim vertices")
+    return _edges_of(nx.wheel_graph(size + 1))
+
+
+def petersen_graph() -> list[Edge]:
+    """The Petersen graph (3-colourable)."""
+    return _edges_of(nx.petersen_graph())
+
+
+def bipartite_graph(left: int, right: int) -> list[Edge]:
+    """The complete bipartite graph ``K_{left,right}`` (always 2-colourable)."""
+    if left < 1 or right < 1:
+        raise WorkloadError("both sides of a bipartite graph need at least one vertex")
+    return _edges_of(nx.complete_bipartite_graph(left, right))
+
+
+def random_graph(vertices: int, edge_probability: float, seed: int | None = None) -> list[Edge]:
+    """An Erdős–Rényi graph ``G(vertices, edge_probability)`` without isolated self-loops."""
+    if vertices < 2:
+        raise WorkloadError("random graphs need at least two vertices")
+    if not 0 <= edge_probability <= 1:
+        raise WorkloadError("the edge probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = nx.gnp_random_graph(vertices, edge_probability, seed=rng.randrange(2**30))
+    edges = _edges_of(graph)
+    if not edges:
+        # Guarantee at least one edge so the reduction is well-defined.
+        edges = [(0, 1)]
+    return edges
+
+
+def is_three_colorable(edges: Iterable[Edge]) -> bool:
+    """Exact 3-colourability check by backtracking (independent of the reduction)."""
+    edge_list = list(edges)
+    vertices: list[Hashable] = sorted({v for edge in edge_list for v in edge}, key=str)
+    adjacency: dict[Hashable, set[Hashable]] = {vertex: set() for vertex in vertices}
+    for source, target in edge_list:
+        if source == target:
+            return False
+        adjacency[source].add(target)
+        adjacency[target].add(source)
+
+    coloring: dict[Hashable, int] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(vertices):
+            return True
+        vertex = vertices[index]
+        for color in range(3):
+            if all(coloring.get(neighbor) != color for neighbor in adjacency[vertex]):
+                coloring[vertex] = color
+                if assign(index + 1):
+                    return True
+                del coloring[vertex]
+        return False
+
+    return assign(0)

@@ -1,0 +1,148 @@
+"""Every worked example of the paper, as ready-made fixtures.
+
+The objects below are used by the unit tests, the examples and the E1–E5
+benchmarks; their names follow the sections of the paper they come from.
+"""
+
+from __future__ import annotations
+
+from repro.queries.builder import QueryBuilder
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance, SetInstance
+from repro.relational.terms import Constant
+
+__all__ = [
+    "section2_query",
+    "section2_instance",
+    "section2_bag",
+    "section2_expected_answers",
+    "section2_q1",
+    "section2_q2",
+    "section2_q3",
+    "section3_probe_example_query",
+    "section3_containee",
+    "section3_containing",
+    "section4_mpi_solutions",
+]
+
+
+def section2_query() -> ConjunctiveQuery:
+    """The running query of Section 2::
+
+        q(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4)
+    """
+    return (
+        QueryBuilder("q")
+        .head("x1", "x2")
+        .atom("R", "x1", "y1", multiplicity=2)
+        .atom("R", "x1", "y2")
+        .atom("P", "y2", "y3", multiplicity=2)
+        .atom("P", "x2", "y4")
+        .build()
+    )
+
+
+def section2_instance() -> SetInstance:
+    """``I = {R(c1,c2), R(c1,c3), P(c2,c4), P(c5,c4)}``."""
+    c1, c2, c3, c4, c5 = (Constant(f"c{i}") for i in range(1, 6))
+    return SetInstance(
+        [
+            Atom("R", (c1, c2)),
+            Atom("R", (c1, c3)),
+            Atom("P", (c2, c4)),
+            Atom("P", (c5, c4)),
+        ]
+    )
+
+
+def section2_bag() -> BagInstance:
+    """``I^µ = {R^2(c1,c2), R(c1,c3), P(c2,c4), P^3(c5,c4)}``."""
+    c1, c2, c3, c4, c5 = (Constant(f"c{i}") for i in range(1, 6))
+    return BagInstance(
+        {
+            Atom("R", (c1, c2)): 2,
+            Atom("R", (c1, c3)): 1,
+            Atom("P", (c2, c4)): 1,
+            Atom("P", (c5, c4)): 3,
+        }
+    )
+
+
+def section2_expected_answers() -> dict[tuple[Constant, Constant], int]:
+    """The bag answer reported in the paper: ``{(c1,c2)^10, (c1,c5)^30}``."""
+    c1, c2, c5 = Constant("c1"), Constant("c2"), Constant("c5")
+    return {(c1, c2): 10, (c1, c5): 30}
+
+
+def section2_q1() -> ConjunctiveQuery:
+    """``q1(x1,x2) <- R^2(x1,x2), P^3(x2,x2)`` (projection-free)."""
+    return (
+        QueryBuilder("q1")
+        .head("x1", "x2")
+        .atom("R", "x1", "x2", multiplicity=2)
+        .atom("P", "x2", "x2", multiplicity=3)
+        .build()
+    )
+
+
+def section2_q2() -> ConjunctiveQuery:
+    """``q2(x1,x2) <- R^3(x1,x2), P^3(x2,x2)`` (projection-free)."""
+    return (
+        QueryBuilder("q2")
+        .head("x1", "x2")
+        .atom("R", "x1", "x2", multiplicity=3)
+        .atom("P", "x2", "x2", multiplicity=3)
+        .build()
+    )
+
+
+def section2_q3() -> ConjunctiveQuery:
+    """``q3(x1,x2) <- R^2(x1,y1), R(x1,y2), P^2(y2,y3), P(x2,y4)`` — same as the running query."""
+    return section2_query().with_name("q3")
+
+
+def section3_probe_example_query() -> ConjunctiveQuery:
+    """``q(x1,x2) <- R(x1,x2), R(c1,x2), R(x1,c2)`` — the probe-tuple example (16 probe tuples)."""
+    return (
+        QueryBuilder("q")
+        .head("x1", "x2")
+        .atom("R", "x1", "x2")
+        .atom("R", "c1", "x2")
+        .atom("R", "x1", "c2")
+        .build()
+    )
+
+
+def section3_containee() -> ConjunctiveQuery:
+    """``q1(x1,x2) <- R^2(x1,x2), R(c1,x2), R^3(x1,c2)`` — the bag variation used for Definition 3.2."""
+    return (
+        QueryBuilder("q1")
+        .head("x1", "x2")
+        .atom("R", "x1", "x2", multiplicity=2)
+        .atom("R", "c1", "x2")
+        .atom("R", "x1", "c2", multiplicity=3)
+        .build()
+    )
+
+
+def section3_containing() -> ConjunctiveQuery:
+    """``q2(x1,x2) <- R^3(x1,x2), R^2(x1,y1), R^2(y2,y1)`` — the query of Definition 3.3's example."""
+    return (
+        QueryBuilder("q2")
+        .head("x1", "x2")
+        .atom("R", "x1", "x2", multiplicity=3)
+        .atom("R", "x1", "y1", multiplicity=2)
+        .atom("R", "y2", "y1", multiplicity=2)
+        .build()
+    )
+
+
+def section4_mpi_solutions() -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+    """The two Diophantine solutions of the Section 4 example: (1, 4, 3) and (1, 9, 3).
+
+    These solve ``u1^7 + u1^5·u2^2 + u1^3·u3^4 < u1^2·u2·u3^3``, the MPI
+    derived from :func:`section3_containee` and :func:`section3_containing`
+    at the most-general probe tuple.
+    """
+    return (1, 4, 3), (1, 9, 3)

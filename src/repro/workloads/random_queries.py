@@ -1,0 +1,241 @@
+"""Random conjunctive-query workloads.
+
+The generator produces reproducible (seeded) random CQs with controllable
+shape: number of relations and their arities, number of atoms, number of
+variables, how many variables are existential, how many constants appear and
+how large body multiplicities may get.  Two derived generators produce the
+pairs used by the integration tests and the scaling benchmarks:
+
+* :func:`random_containment_pair` — a projection-free containee together
+  with a containing query obtained by *relaxing* the containee (renaming
+  some of its variables apart into fresh existential variables and lowering
+  multiplicities), which is biased towards pairs where containment holds;
+* :func:`random_unrelated_pair` — two independently drawn queries over the
+  same schema, which is biased towards non-containment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import WorkloadError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.terms import Constant, Term, Variable
+
+__all__ = [
+    "RandomQueryConfig",
+    "random_schema",
+    "random_query",
+    "random_projection_free_query",
+    "random_containment_pair",
+    "random_unrelated_pair",
+]
+
+
+@dataclass(frozen=True)
+class RandomQueryConfig:
+    """Shape parameters of the random query generator."""
+
+    num_relations: int = 3
+    max_arity: int = 2
+    num_atoms: int = 4
+    num_variables: int = 4
+    num_constants: int = 1
+    max_multiplicity: int = 2
+    projection_free: bool = False
+    head_size: int = 2
+    name: str = "q"
+    relation_prefix: str = "R"
+
+    def __post_init__(self) -> None:
+        if self.num_relations < 1 or self.num_atoms < 1 or self.num_variables < 1:
+            raise WorkloadError("the generator needs at least one relation, atom and variable")
+        if self.max_arity < 1 or self.max_multiplicity < 1:
+            raise WorkloadError("arities and multiplicities must be at least 1")
+        if self.head_size < 0 or self.head_size > self.num_variables:
+            raise WorkloadError("head_size must be between 0 and num_variables")
+
+
+def random_schema(config: RandomQueryConfig, rng: random.Random) -> DatabaseSchema:
+    """A random schema with ``config.num_relations`` relations of random arity."""
+    return DatabaseSchema(
+        RelationSchema(f"{config.relation_prefix}{index}", rng.randint(1, config.max_arity))
+        for index in range(config.num_relations)
+    )
+
+
+def _random_term(
+    variables: Sequence[Variable], constants: Sequence[Constant], rng: random.Random
+) -> Term:
+    pool: list[Term] = list(variables) + list(constants)
+    return rng.choice(pool)
+
+
+def random_query(
+    config: RandomQueryConfig,
+    seed: int | None = None,
+    schema: DatabaseSchema | None = None,
+) -> ConjunctiveQuery:
+    """Draw one random CQ according to *config*.
+
+    The query is guaranteed to be safe (head variables occur in the body):
+    head variables are planted into the first atoms if the random draw did
+    not already use them.
+    """
+    rng = random.Random(seed)
+    schema = schema or random_schema(config, rng)
+    relations = list(schema)
+
+    variables = [Variable(f"x{i}") for i in range(config.num_variables)]
+    constants = [Constant(f"a{i}") for i in range(config.num_constants)]
+    head = tuple(variables[: config.head_size])
+
+    if config.projection_free:
+        usable_variables = list(head) if head else variables[:1]
+    else:
+        usable_variables = variables
+
+    atoms: dict[Atom, int] = {}
+    for _ in range(config.num_atoms):
+        relation = rng.choice(relations)
+        terms = tuple(
+            _random_term(usable_variables, constants, rng) for _ in range(relation.arity)
+        )
+        atom = Atom(relation.name, terms)
+        atoms[atom] = atoms.get(atom, 0) + rng.randint(1, config.max_multiplicity)
+
+    # Ensure safety: every head variable must occur somewhere in the body.
+    missing = [variable for variable in head if not any(variable in atom.variables() for atom in atoms)]
+    for variable in missing:
+        relation = rng.choice(relations)
+        terms = tuple(
+            variable if position == 0 else _random_term(usable_variables, constants, rng)
+            for position in range(relation.arity)
+        )
+        atom = Atom(relation.name, terms)
+        atoms[atom] = atoms.get(atom, 0) + 1
+
+    return ConjunctiveQuery(head, atoms, name=config.name)
+
+
+def random_projection_free_query(
+    config: RandomQueryConfig | None = None, seed: int | None = None
+) -> ConjunctiveQuery:
+    """A random projection-free CQ (every variable is a head variable)."""
+    base = config or RandomQueryConfig()
+    adjusted = RandomQueryConfig(
+        num_relations=base.num_relations,
+        max_arity=base.max_arity,
+        num_atoms=base.num_atoms,
+        num_variables=max(1, base.head_size),
+        num_constants=base.num_constants,
+        max_multiplicity=base.max_multiplicity,
+        projection_free=True,
+        head_size=max(1, base.head_size),
+        name=base.name,
+        relation_prefix=base.relation_prefix,
+    )
+    return random_query(adjusted, seed=seed)
+
+
+def random_containment_pair(
+    seed: int,
+    num_atoms: int = 3,
+    head_size: int = 2,
+    max_multiplicity: int = 2,
+    extra_relaxation: bool = True,
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """A (projection-free containee, containing) pair biased towards containment.
+
+    The containee is drawn at random; the containing query starts from the
+    same body and is then *relaxed*: body multiplicities may be lowered and,
+    when *extra_relaxation* is set, some occurrences of non-head variables
+    or repeated positions are renamed apart into fresh existential
+    variables.  Relaxations of this kind frequently (though not always)
+    preserve bag containment, giving a mixed but containment-rich workload.
+    """
+    rng = random.Random(seed)
+    config = RandomQueryConfig(
+        num_relations=2,
+        max_arity=2,
+        num_atoms=num_atoms,
+        num_variables=head_size,
+        num_constants=1,
+        max_multiplicity=max_multiplicity,
+        projection_free=True,
+        head_size=head_size,
+        name="q1",
+    )
+    containee = random_query(config, seed=rng.randrange(2**30))
+
+    fresh_counter = 0
+    containing_atoms: dict[Atom, int] = {}
+    for atom, multiplicity in containee.body.items():
+        new_terms: list[Term] = []
+        for term in atom.terms:
+            if (
+                extra_relaxation
+                and isinstance(term, Variable)
+                and rng.random() < 0.25
+            ):
+                new_terms.append(Variable(f"z{fresh_counter}"))
+                fresh_counter += 1
+            else:
+                new_terms.append(term)
+        relaxed = Atom(atom.relation, tuple(new_terms))
+        lowered = max(1, multiplicity - rng.randint(0, 1))
+        containing_atoms[relaxed] = containing_atoms.get(relaxed, 0) + lowered
+
+    # Keep the containing query safe: its head is the containee's head, so
+    # every head variable must still occur.  Add the original atom back if a
+    # head variable got renamed away everywhere.
+    for variable in containee.head:
+        if not any(variable in atom.variables() for atom in containing_atoms):
+            original = next(
+                atom for atom in containee.body_atoms() if variable in atom.variables()
+            )
+            containing_atoms[original] = containing_atoms.get(original, 0) + 1
+
+    containing = ConjunctiveQuery(containee.head, containing_atoms, name="q2")
+    return containee, containing
+
+
+def random_unrelated_pair(
+    seed: int,
+    num_atoms: int = 3,
+    head_size: int = 2,
+    max_multiplicity: int = 2,
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Two independently drawn queries over a shared schema (containment is rare)."""
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_arities({"R0": 2, "R1": 2})
+    containee_config = RandomQueryConfig(
+        num_relations=2,
+        max_arity=2,
+        num_atoms=num_atoms,
+        num_variables=head_size,
+        num_constants=1,
+        max_multiplicity=max_multiplicity,
+        projection_free=True,
+        head_size=head_size,
+        name="q1",
+    )
+    containing_config = RandomQueryConfig(
+        num_relations=2,
+        max_arity=2,
+        num_atoms=num_atoms,
+        num_variables=head_size + 2,
+        num_constants=1,
+        max_multiplicity=max_multiplicity,
+        projection_free=False,
+        head_size=head_size,
+        name="q2",
+    )
+    containee = random_query(containee_config, seed=rng.randrange(2**30), schema=schema)
+    containing = random_query(containing_config, seed=rng.randrange(2**30), schema=schema)
+    containing = containing.with_head(containee.head) if set(containee.head) <= containing.variables() else containing
+    return containee, containing

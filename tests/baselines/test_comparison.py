@@ -1,0 +1,49 @@
+"""Unit tests for the decider-vs-baselines cross-check harness."""
+
+from repro.baselines.comparison import cross_check
+from repro.queries.parser import parse_cq
+from repro.workloads.paper_examples import section2_q1, section2_q2, section2_q3
+from repro.workloads.random_queries import random_containment_pair, random_unrelated_pair
+
+
+class TestCrossCheck:
+    def test_paper_pairs_are_consistent(self):
+        for containee, containing in [
+            (section2_q1(), section2_q2()),
+            (section2_q2(), section2_q1()),
+            (section2_q1(), section2_q3()),
+            (section2_q2(), section2_q3()),
+        ]:
+            report = cross_check(containee, containing, max_multiplicity=2, random_trials=30)
+            assert report.consistent
+            assert report.exact.contained == (not report.bounded.refuted) or not report.exact.contained
+
+    def test_negative_verdicts_carry_verified_counterexamples(self):
+        report = cross_check(section2_q2(), section2_q1())
+        assert not report.exact.contained
+        assert report.exact.counterexample is not None
+
+    def test_hand_written_pairs(self):
+        pairs = [
+            ("q1(x) <- R(x, x)", "q2(x) <- R(x, x), R(x, y)"),
+            ("q1(x) <- R^2(x, x)", "q2(x) <- R(x, x)"),
+            ("q1(x, y) <- R(x, y), S(y, x)", "q2(x, y) <- R(x, y)"),
+            ("q1(x) <- R(x, a)", "q2(x) <- R(x, y)"),
+        ]
+        for containee_text, containing_text in pairs:
+            report = cross_check(parse_cq(containee_text), parse_cq(containing_text))
+            assert report.consistent
+
+    def test_random_containment_pairs_are_consistent(self):
+        for seed in range(12):
+            containee, containing = random_containment_pair(seed, num_atoms=3, head_size=2)
+            report = cross_check(containee, containing, max_multiplicity=2, random_trials=25)
+            assert report.consistent
+
+    def test_random_unrelated_pairs_are_consistent(self):
+        for seed in range(12):
+            containee, containing = random_unrelated_pair(seed, num_atoms=3, head_size=2)
+            if not containee.is_projection_free():
+                continue
+            report = cross_check(containee, containing, max_multiplicity=2, random_trials=25)
+            assert report.consistent

@@ -1,0 +1,100 @@
+"""Unit tests for the brute-force refuters."""
+
+import pytest
+
+from repro.baselines.refuters import bounded_bag_refuter, check_bag, random_bag_refuter
+from repro.core.probe_tuples import most_general_probe_tuple
+from repro.exceptions import NotProjectionFreeError
+from repro.queries.parser import parse_cq
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance
+from repro.relational.terms import CanonicalConstant
+from repro.workloads.paper_examples import section2_q1, section2_q2
+
+
+class TestCheckBag:
+    def test_detects_a_known_violation(self):
+        containee, containing = section2_q2(), section2_q1()
+        probe = most_general_probe_tuple(containee)
+        bag = BagInstance(
+            {
+                Atom("R", (CanonicalConstant("x1"), CanonicalConstant("x2"))): 2,
+                Atom("P", (CanonicalConstant("x2"), CanonicalConstant("x2"))): 1,
+            }
+        )
+        violation = check_bag(containee, containing, probe, bag)
+        assert violation is not None
+        assert violation.containee_multiplicity == 8
+        assert violation.containing_multiplicity == 4
+
+    def test_returns_none_when_no_violation(self):
+        containee, containing = section2_q1(), section2_q2()
+        probe = most_general_probe_tuple(containee)
+        bag = BagInstance(
+            {
+                Atom("R", (CanonicalConstant("x1"), CanonicalConstant("x2"))): 2,
+                Atom("P", (CanonicalConstant("x2"), CanonicalConstant("x2"))): 1,
+            }
+        )
+        assert check_bag(containee, containing, probe, bag) is None
+
+
+class TestBoundedRefuter:
+    def test_finds_the_paper_counterexample(self):
+        outcome = bounded_bag_refuter(section2_q2(), section2_q1(), max_multiplicity=2)
+        assert outcome.refuted
+        assert outcome.counterexample is not None
+        assert outcome.counterexample.verify(section2_q2(), section2_q1())
+
+    def test_does_not_refute_a_true_containment(self):
+        outcome = bounded_bag_refuter(section2_q1(), section2_q2(), max_multiplicity=3)
+        assert not outcome.refuted
+        assert outcome.bags_checked == 3**2
+
+    def test_include_zero_extends_the_search_space(self):
+        with_zero = bounded_bag_refuter(
+            section2_q1(), section2_q2(), max_multiplicity=2, include_zero=True
+        )
+        without_zero = bounded_bag_refuter(section2_q1(), section2_q2(), max_multiplicity=2)
+        assert with_zero.bags_checked == 3**2 - 1
+        assert without_zero.bags_checked == 2**2
+
+    def test_all_probes_mode(self):
+        containee = parse_cq("q(x) <- R(x, a)")
+        containing = parse_cq("q(x) <- R(x, a), R(x, b)")
+        outcome = bounded_bag_refuter(containee, containing, max_multiplicity=1, all_probes=True)
+        assert outcome.refuted
+
+    def test_requires_projection_free_containee(self):
+        with pytest.raises(NotProjectionFreeError):
+            bounded_bag_refuter(parse_cq("q(x) <- R(x, y)"), parse_cq("q(x) <- R(x, x)"))
+
+    def test_incompleteness_within_a_small_bound(self):
+        """The violation of q2 ⋢b q1 from Section 2 needs a fact multiplicity of
+        at least 2, so a refuter capped at multiplicity 1 misses it — exactly
+        the incompleteness the exact procedure does not suffer from."""
+        outcome = bounded_bag_refuter(section2_q2(), section2_q1(), max_multiplicity=1)
+        assert not outcome.refuted
+
+
+class TestRandomRefuter:
+    def test_finds_an_easy_violation(self):
+        outcome = random_bag_refuter(
+            section2_q2(), section2_q1(), trials=200, max_multiplicity=4, seed=7
+        )
+        assert outcome.refuted
+        assert outcome.counterexample is not None
+        assert outcome.counterexample.verify(section2_q2(), section2_q1())
+
+    def test_never_refutes_a_true_containment(self):
+        outcome = random_bag_refuter(
+            section2_q1(), section2_q2(), trials=100, max_multiplicity=5, seed=11
+        )
+        assert not outcome.refuted
+        assert outcome.bags_checked == 100
+
+    def test_is_deterministic_for_a_fixed_seed(self):
+        first = random_bag_refuter(section2_q2(), section2_q1(), trials=50, seed=3)
+        second = random_bag_refuter(section2_q2(), section2_q1(), trials=50, seed=3)
+        assert first.refuted == second.refuted
+        assert first.bags_checked == second.bags_checked

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test-suite.
+
+Most fixtures are thin wrappers around the paper-example factories in
+:mod:`repro.workloads.paper_examples`, so that tests read like the sections
+of the paper they verify.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries.builder import QueryBuilder
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance, SetInstance
+from repro.relational.terms import Constant, Variable
+from repro.workloads import paper_examples
+
+
+@pytest.fixture
+def x1() -> Variable:
+    return Variable("x1")
+
+
+@pytest.fixture
+def x2() -> Variable:
+    return Variable("x2")
+
+
+@pytest.fixture
+def section2_query():
+    return paper_examples.section2_query()
+
+
+@pytest.fixture
+def section2_instance() -> SetInstance:
+    return paper_examples.section2_instance()
+
+
+@pytest.fixture
+def section2_bag() -> BagInstance:
+    return paper_examples.section2_bag()
+
+
+@pytest.fixture
+def section2_q1():
+    return paper_examples.section2_q1()
+
+
+@pytest.fixture
+def section2_q2():
+    return paper_examples.section2_q2()
+
+
+@pytest.fixture
+def section2_q3():
+    return paper_examples.section2_q3()
+
+
+@pytest.fixture
+def section3_containee():
+    return paper_examples.section3_containee()
+
+
+@pytest.fixture
+def section3_containing():
+    return paper_examples.section3_containing()
+
+
+@pytest.fixture
+def simple_edge_query():
+    """``q(x, y) <- E(x, y)`` — the smallest projection-free query."""
+    return QueryBuilder("edge").head("x", "y").atom("E", "x", "y").build()
+
+
+@pytest.fixture
+def tiny_bag() -> BagInstance:
+    """A two-fact bag over a binary relation, used by many evaluation tests."""
+    a, b, c = Constant("a"), Constant("b"), Constant("c")
+    return BagInstance({Atom("E", (a, b)): 2, Atom("E", (b, c)): 3})

@@ -1,0 +1,58 @@
+"""Unit tests for bag-set semantics containment and equivalence."""
+
+from repro.containment.bag_set_containment import (
+    are_bag_set_equivalent,
+    bag_set_counterexample_on_canonical,
+    decide_bag_set_containment,
+)
+from repro.containment.set_containment import is_set_contained
+from repro.queries.parser import parse_cq
+from repro.workloads.paper_examples import section2_q1, section2_q2, section2_q3
+
+
+class TestBagSetContainment:
+    def test_agrees_with_set_containment_on_paper_queries(self):
+        pairs = [
+            (section2_q1(), section2_q2()),
+            (section2_q2(), section2_q1()),
+            (section2_q1(), section2_q3()),
+            (section2_q3(), section2_q1()),
+        ]
+        for containee, containing in pairs:
+            assert decide_bag_set_containment(containee, containing) == is_set_contained(
+                containee, containing
+            )
+
+    def test_atom_multiplicities_are_irrelevant(self):
+        single = parse_cq("q(x, y) <- R(x, y)")
+        doubled = parse_cq("q(x, y) <- R^2(x, y)")
+        assert decide_bag_set_containment(single, doubled)
+        assert decide_bag_set_containment(doubled, single)
+
+    def test_counterexample_on_canonical_instance(self):
+        containee = parse_cq("q(x) <- R(x, y)")
+        containing = parse_cq("q(x) <- R(x, x)")
+        assert bag_set_counterexample_on_canonical(containee, containing) is not None
+        assert bag_set_counterexample_on_canonical(containing, containee) is None
+
+
+class TestBagSetEquivalence:
+    def test_isomorphic_queries_are_equivalent(self):
+        first = parse_cq("q(x) <- R(x, y), S(y)")
+        second = parse_cq("q(x) <- R(x, z), S(z)")
+        assert are_bag_set_equivalent(first, second)
+
+    def test_set_equivalent_but_different_body_sizes_are_not_equivalent(self):
+        redundant = parse_cq("q(x) <- R(x, y), R(x, z)")
+        minimal = parse_cq("q(x) <- R(x, y)")
+        assert not are_bag_set_equivalent(redundant, minimal)
+
+    def test_different_shapes_are_not_equivalent(self):
+        chain = parse_cq("q(x) <- R(x, y), R(y, z)")
+        fork = parse_cq("q(x) <- R(x, y), R(x, z)")
+        assert not are_bag_set_equivalent(chain, fork)
+
+    def test_multiplicities_do_not_matter_for_bag_set_equivalence(self):
+        single = parse_cq("q(x, y) <- R(x, y)")
+        doubled = parse_cq("q(x, y) <- R^2(x, y)")
+        assert are_bag_set_equivalent(single, doubled)

@@ -1,0 +1,59 @@
+"""Unit tests for query minimisation (cores)."""
+
+from repro.containment.minimization import core, is_minimal, redundant_atoms
+from repro.containment.set_containment import are_set_equivalent
+from repro.core.decision import are_bag_equivalent
+from repro.queries.parser import parse_cq
+
+
+class TestCore:
+    def test_redundant_atom_is_removed(self):
+        query = parse_cq("q(x) <- R(x, y), R(x, z)")
+        minimised = core(query)
+        assert len(minimised.body_atoms()) == 1
+        assert are_set_equivalent(query, minimised)
+
+    def test_minimal_query_is_unchanged(self):
+        query = parse_cq("q(x) <- R(x, y), S(y, x)")
+        assert core(query) == query.set_body().with_name("core(q)")
+        assert is_minimal(query)
+
+    def test_redundant_atoms_listing(self):
+        query = parse_cq("q(x) <- R(x, y), R(x, z)")
+        assert len(redundant_atoms(query)) == 2  # either copy can be folded into the other
+
+    def test_chain_folds_into_self_loop(self):
+        query = parse_cq("q() <- R(x, y), R(y, x), R(x, x)")
+        minimised = core(query)
+        assert len(minimised.body_atoms()) == 1
+        assert are_set_equivalent(query, minimised)
+
+    def test_head_variables_are_preserved(self):
+        query = parse_cq("q(x, z) <- R(x, y), R(x, z)")
+        minimised = core(query)
+        # R(x, z) cannot be folded away because z is free, but R(x, y) can.
+        assert minimised.body_atoms() == (parse_cq("q(x, z) <- R(x, z)").body_atoms()[0],)
+        assert are_set_equivalent(query, minimised)
+
+    def test_core_is_idempotent(self):
+        query = parse_cq("q(x) <- R(x, y), R(x, z), R(x, w)")
+        once = core(query)
+        twice = core(once)
+        assert len(once.body_atoms()) == len(twice.body_atoms()) == 1
+
+    def test_multiplicities_are_collapsed(self):
+        query = parse_cq("q(x) <- R^4(x, y)")
+        assert core(query).multiplicity(query.body_atoms()[0]) == 1
+
+
+class TestBagSemanticsCaveat:
+    def test_set_minimisation_is_not_bag_sound(self):
+        """Dropping a duplicate atom preserves set semantics but not bag semantics.
+
+        This is the SQL-rewrite pitfall the paper's introduction warns about:
+        the minimised query is set-equivalent but NOT bag-equivalent.
+        """
+        original = parse_cq("q(x, y) <- R^2(x, y)")
+        minimised = parse_cq("q(x, y) <- R(x, y)")
+        assert are_set_equivalent(original, minimised)
+        assert not are_bag_equivalent(original, minimised)

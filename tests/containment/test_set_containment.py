@@ -1,0 +1,87 @@
+"""Unit tests for Chandra-Merlin set containment."""
+
+from repro.containment.set_containment import (
+    are_set_equivalent,
+    decide_set_containment,
+    decide_set_containment_ucq,
+    is_set_contained,
+)
+from repro.evaluation.set_evaluation import evaluate_set
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.workloads.paper_examples import section2_q1, section2_q2, section2_q3
+
+
+class TestPaperExamples:
+    def test_q1_and_q2_are_set_equivalent(self):
+        assert is_set_contained(section2_q1(), section2_q2())
+        assert is_set_contained(section2_q2(), section2_q1())
+        assert are_set_equivalent(section2_q1(), section2_q2())
+
+    def test_q1_and_q2_are_contained_in_q3(self):
+        assert is_set_contained(section2_q1(), section2_q3())
+        assert is_set_contained(section2_q2(), section2_q3())
+
+    def test_q3_is_not_contained_in_q1_or_q2(self):
+        assert not is_set_contained(section2_q3(), section2_q1())
+        assert not is_set_contained(section2_q3(), section2_q2())
+
+
+class TestGeneralBehaviour:
+    def test_every_query_contains_itself(self):
+        query = parse_cq("q(x) <- R(x, y), S(y)")
+        assert is_set_contained(query, query)
+
+    def test_adding_atoms_to_the_containee_preserves_containment(self):
+        small = parse_cq("q(x) <- R(x, y)")
+        large = parse_cq("q(x) <- R(x, y), S(y)")
+        assert is_set_contained(large, small)
+        assert not is_set_contained(small, large)
+
+    def test_projection_direction(self):
+        specific = parse_cq("q(x) <- R(x, x)")
+        general = parse_cq("q(x) <- R(x, y)")
+        assert is_set_contained(specific, general)
+        assert not is_set_contained(general, specific)
+
+    def test_constants_block_containment(self):
+        with_constant = parse_cq("q(x) <- R(x, a)")
+        general = parse_cq("q(x) <- R(x, y)")
+        assert is_set_contained(with_constant, general)
+        assert not is_set_contained(general, with_constant)
+
+    def test_arity_mismatch_is_never_contained(self):
+        unary = parse_cq("q(x) <- R(x, x)")
+        binary = parse_cq("q(x, y) <- R(x, y)")
+        assert not is_set_contained(unary, binary)
+        assert not is_set_contained(binary, unary)
+
+    def test_result_carries_a_witness_mapping(self):
+        containee = parse_cq("q(x) <- R(x, x)")
+        containing = parse_cq("q(x) <- R(x, y)")
+        result = decide_set_containment(containee, containing)
+        assert result.contained
+        assert result.witness is not None
+        # The witness maps the containing query's body into the containee's.
+        mapped = {result.witness.apply_atom(atom) for atom in containing.body_atoms()}
+        assert mapped <= set(containee.body_atoms())
+
+    def test_explanations_mention_the_verdict(self):
+        containee = parse_cq("q(x) <- R(x, x)")
+        containing = parse_cq("q(x) <- R(x, y)")
+        assert "⊑s" in decide_set_containment(containee, containing).explain()
+        assert "⋢s" in decide_set_containment(containing, containee).explain()
+
+    def test_containment_is_semantically_sound_on_canonical_instances(self):
+        containee = parse_cq("q(x) <- R(x, y), R(y, x)")
+        containing = parse_cq("q(x) <- R(x, y)")
+        assert is_set_contained(containee, containing)
+        canonical = containee.canonical_instance()
+        assert evaluate_set(containee, canonical) <= evaluate_set(containing, canonical)
+
+
+class TestUcqContainment:
+    def test_each_disjunct_must_be_covered(self):
+        containee = parse_ucq("q(x) <- R(x, x); q(x) <- S(x)")
+        containing = parse_ucq("q(x) <- R(x, y); q(x) <- S(x)")
+        assert decide_set_containment_ucq(containee, containing)
+        assert not decide_set_containment_ucq(containing, containee)

@@ -1,0 +1,130 @@
+"""Unit tests for the hardness and polynomial-encoding reductions."""
+
+import pytest
+
+from repro.core.decision import decide_bag_containment
+from repro.core.reductions import (
+    bag_for_polynomial_point,
+    graph_query,
+    polynomial_pair_to_ucqs,
+    polynomial_to_ucq,
+    three_colorability_instance,
+    triangle_query,
+)
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.evaluation.bag_evaluation import evaluate_bag_ucq
+from repro.exceptions import WorkloadError
+from repro.workloads.graphs import (
+    bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    is_three_colorable,
+)
+
+
+class TestGraphQueries:
+    def test_triangle_query_is_ground_and_boolean(self):
+        query = triangle_query()
+        assert query.is_ground()
+        assert query.is_boolean()
+        assert query.is_projection_free()
+
+    def test_graph_query_uses_one_variable_per_vertex(self):
+        query = graph_query([(1, 2), (2, 3)])
+        assert len(query.variables()) == 3
+        assert not query.is_projection_free()
+
+    def test_graph_query_needs_edges(self):
+        with pytest.raises(WorkloadError):
+            graph_query([])
+
+    def test_self_loops_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            three_colorability_instance([(1, 1)])
+
+
+class TestThreeColorabilityReduction:
+    @pytest.mark.parametrize(
+        "edges, expected",
+        [
+            (complete_graph(3), True),
+            (complete_graph(4), False),
+            (cycle_graph(5), True),
+            (cycle_graph(4), True),
+            (bipartite_graph(2, 2), True),
+        ],
+    )
+    def test_containment_matches_three_colorability(self, edges, expected):
+        assert is_three_colorable(edges) == expected
+        containee, containing = three_colorability_instance(edges)
+        result = decide_bag_containment(containee, containing)
+        assert result.contained == expected
+
+    def test_negative_instances_carry_counterexamples(self):
+        containee, containing = three_colorability_instance(complete_graph(4))
+        result = decide_bag_containment(containee, containing)
+        assert not result.contained
+        assert result.counterexample is not None
+        assert result.counterexample.verify(containee, containing)
+
+    def test_instance_shape(self):
+        containee, containing = three_colorability_instance(cycle_graph(3))
+        # The containee is the symmetric triangle: six ground edge facts.
+        assert len(containee.body_atoms()) == 6
+        assert containee.is_ground()
+        # The containing query adds the graph's atoms on top of the triangle's.
+        assert len(containing.body_atoms()) == 6 + 6
+
+
+class TestPolynomialEncoding:
+    def test_single_monomial_evaluation(self):
+        # P(u1, u2) = u1^2 * u2 encoded as a Boolean UCQ.
+        polynomial = Polynomial([Monomial(1, (2, 1))])
+        ucq = polynomial_to_ucq(polynomial)
+        for point in [(1, 1), (2, 3), (3, 0), (0, 5)]:
+            bag = bag_for_polynomial_point(point)
+            assert evaluate_bag_ucq(ucq, bag)[()] == polynomial.evaluate(point)
+
+    def test_coefficients_become_repeated_disjuncts(self):
+        polynomial = Polynomial([Monomial(3, (1,))])
+        ucq = polynomial_to_ucq(polynomial)
+        assert len(ucq) == 3
+        bag = bag_for_polynomial_point((4,))
+        assert evaluate_bag_ucq(ucq, bag)[()] == 12
+
+    def test_multi_monomial_polynomial(self):
+        polynomial = Polynomial.from_terms([(1, (2, 0)), (2, (0, 3))])
+        ucq = polynomial_to_ucq(polynomial)
+        for point in [(1, 1), (2, 2), (5, 1), (0, 2)]:
+            bag = bag_for_polynomial_point(point)
+            assert evaluate_bag_ucq(ucq, bag)[()] == polynomial.evaluate(point)
+
+    def test_pair_encoding_reflects_pointwise_comparison(self):
+        # P1 = u^2, P2 = 2u: P1 <= P2 fails at u = 3 and holds at u = 1, 2.
+        left = Polynomial([Monomial(1, (2,))])
+        right = Polynomial([Monomial(2, (1,))])
+        ucq_left, ucq_right = polynomial_pair_to_ucqs(left, right)
+        for value in (1, 2, 3, 4):
+            bag = bag_for_polynomial_point((value,))
+            left_count = evaluate_bag_ucq(ucq_left, bag)[()]
+            right_count = evaluate_bag_ucq(ucq_right, bag)[()]
+            assert (left_count <= right_count) == (value**2 <= 2 * value)
+
+    def test_constant_terms_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            polynomial_to_ucq(Polynomial.from_terms([(1, (0, 0))]))
+
+    def test_zero_polynomial_is_rejected(self):
+        with pytest.raises(WorkloadError):
+            polynomial_to_ucq(Polynomial.zero(2))
+
+    def test_non_natural_coefficients_are_rejected(self):
+        from fractions import Fraction
+
+        with pytest.raises(WorkloadError):
+            polynomial_to_ucq(Polynomial([Monomial(Fraction(1, 2), (1,))]))
+
+    def test_negative_points_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            bag_for_polynomial_point((-1,))

@@ -1,0 +1,36 @@
+"""Unit tests for the Lemma 5.1 solution-size bounds."""
+
+from repro.diophantine.bounds import phi, solution_component_bound
+from repro.diophantine.inequalities import MonomialPolynomialInequality
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.diophantine.solver import decide_mpi
+from repro.linalg.systems import HomogeneousStrictSystem
+
+
+class TestPhi:
+    def test_phi_is_the_maximum_row_sum(self):
+        system = HomogeneousStrictSystem([[1, -3], [2, 2]])
+        assert phi(system) == 4
+
+    def test_phi_is_clamped_at_one(self):
+        system = HomogeneousStrictSystem([[-1, -1]])
+        assert phi(system) == 1
+        assert phi(HomogeneousStrictSystem([], dimension=2)) == 1
+
+
+class TestSolutionComponentBound:
+    def test_formula(self):
+        system = HomogeneousStrictSystem([[1, -3], [2, 2]])
+        assert solution_component_bound(system) == 6 * 8 * 4
+
+    def test_bound_covers_a_known_solution(self):
+        """When an MPI is solvable, some natural solution of its linear system
+        fits within the Lemma 5.1 bound (soundness of the guess-&-check)."""
+        polynomial = Polynomial.from_terms([(1, (7, 0, 0)), (1, (5, 2, 0)), (1, (3, 0, 4))])
+        inequality = MonomialPolynomialInequality(polynomial, Monomial(1, (2, 1, 3)))
+        decision = decide_mpi(inequality)
+        assert decision.solvable
+        system = inequality.to_linear_system()
+        bound = solution_component_bound(system)
+        assert sum(decision.linear_solution) <= bound

@@ -1,0 +1,178 @@
+"""Unit tests for the MPI decision procedure (Theorems 4.1 and 4.2)."""
+
+import pytest
+
+from repro.diophantine.inequalities import GeneralizedMPI, MonomialPolynomialInequality
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.diophantine.solver import (
+    decide_mpi,
+    decide_mpi_via_lp,
+    smallest_univariate_solution,
+    solve_univariate_gmpi,
+    witness_from_linear_solution,
+)
+from repro.exceptions import DiophantineError
+
+
+def mpi(poly_terms, monomial_exponents) -> MonomialPolynomialInequality:
+    dimension = len(monomial_exponents)
+    polynomial = (
+        Polynomial.from_terms(poly_terms, dimension) if poly_terms else Polynomial.zero(dimension)
+    )
+    return MonomialPolynomialInequality(polynomial, Monomial(1, monomial_exponents))
+
+
+def section4_mpi() -> MonomialPolynomialInequality:
+    return mpi([(1, (7, 0, 0)), (1, (5, 2, 0)), (1, (3, 0, 4))], (2, 1, 3))
+
+
+class TestUnivariateCriterion:
+    def test_lemma_4_1_solvable_iff_degree_gap(self):
+        # u^4 + u^2 < u^4 is unsolvable; 2u^4 + 1 < u^5 is solvable (paper examples).
+        unsolvable = GeneralizedMPI(
+            Polynomial.from_terms([(1, (4,)), (1, (2,))]), Monomial(1, (4,))
+        )
+        solvable = GeneralizedMPI(
+            Polynomial.from_terms([(2, (4,)), (1, (0,))]), Monomial(1, (5,))
+        )
+        assert not solve_univariate_gmpi(unsolvable)
+        assert solve_univariate_gmpi(solvable)
+
+    def test_zero_polynomial_is_always_solvable(self):
+        assert solve_univariate_gmpi(GeneralizedMPI(Polynomial.zero(1), Monomial(1, (0,))))
+
+    def test_criterion_requires_one_unknown(self):
+        with pytest.raises(DiophantineError):
+            solve_univariate_gmpi(GeneralizedMPI(Polynomial.zero(2), Monomial(1, (1, 1))))
+
+    def test_smallest_solution_of_the_paper_1mpi(self):
+        # 2u^4 + 1 < u^5 has 3 as its smallest natural solution.
+        solvable = GeneralizedMPI(
+            Polynomial.from_terms([(2, (4,)), (1, (0,))]), Monomial(1, (5,))
+        )
+        assert smallest_univariate_solution(solvable) == 3
+
+    def test_smallest_solution_rejects_unsolvable_inequalities(self):
+        unsolvable = GeneralizedMPI(Polynomial.from_terms([(1, (1,))]), Monomial(1, (1,)))
+        with pytest.raises(DiophantineError):
+            smallest_univariate_solution(unsolvable)
+
+    def test_smallest_solution_can_be_one(self):
+        # P = 0 (empty): the smallest natural solution of 0 < u^1 is 1.
+        trivial = GeneralizedMPI(Polynomial.zero(1), Monomial(1, (1,)))
+        assert smallest_univariate_solution(trivial) == 1
+
+
+class TestDecideMpi:
+    def test_section4_example_is_solvable_with_verified_witness(self):
+        decision = decide_mpi(section4_mpi())
+        assert decision.solvable
+        assert decision.linear_solution is not None
+        assert decision.witness is not None
+        assert section4_mpi().is_solution(decision.witness)
+        assert decision.method == "fourier-motzkin"
+
+    def test_unsolvable_mpi(self):
+        # u1 + u2 < u1 can never hold over the naturals.
+        decision = decide_mpi(mpi([(1, (1, 0)), (1, (0, 1))], (1, 0)))
+        assert not decision.solvable
+        assert decision.witness is None
+
+    def test_same_exponents_both_sides_is_unsolvable(self):
+        decision = decide_mpi(mpi([(1, (2, 3))], (2, 3)))
+        assert not decision.solvable
+
+    def test_lower_degree_polynomial_is_solvable(self):
+        decision = decide_mpi(mpi([(1, (1, 0))], (2, 1)))
+        assert decision.solvable
+        assert mpi([(1, (1, 0))], (2, 1)).is_solution(decision.witness)
+
+    def test_zero_polynomial_is_trivially_solvable(self):
+        decision = decide_mpi(mpi([], (3, 1)))
+        assert decision.solvable
+        assert decision.witness == (1, 1)
+        assert decision.method == "trivial"
+
+    def test_coefficients_larger_than_one(self):
+        # 5·u1 < u1^2 is solved by u1 = 6.
+        decision = decide_mpi(mpi([(5, (1,))], (2,)))
+        assert decision.solvable
+        assert decision.witness is not None
+        assert 5 * decision.witness[0] < decision.witness[0] ** 2
+
+    def test_univariate_unsolvable_because_of_degrees(self):
+        decision = decide_mpi(mpi([(1, (3,))], (2,)))
+        assert not decision.solvable
+
+    def test_unknowns_missing_from_the_monomial_can_be_zeroed(self):
+        # u2 < 1 is solvable only by setting u2 = 0; the paper's reduction
+        # (positive solutions) misses this, the support restriction finds it.
+        decision = decide_mpi(mpi([(1, (0, 1))], (0, 0)))
+        assert decision.solvable
+        assert decision.witness == (0, 0)
+
+        # u2 < u1: zeroing u2 and taking u1 = 1 works.
+        decision = decide_mpi(mpi([(1, (0, 1))], (1, 0)))
+        assert decision.solvable
+        assert decision.witness is not None
+        assert decision.witness[1] == 0
+        assert mpi([(1, (0, 1))], (1, 0)).is_solution(decision.witness)
+
+    def test_constant_monomial_with_a_constant_polynomial_term(self):
+        # 1 + u1 < 1 is unsolvable: the constant part already reaches 1.
+        decision = decide_mpi(mpi([(1, (0,)), (1, (1,))], (0,)))
+        assert not decision.solvable
+
+    def test_lp_path_handles_the_support_restriction_too(self):
+        assert decide_mpi_via_lp(mpi([(1, (0, 1))], (0, 0))).solvable
+        assert decide_mpi_via_lp(mpi([(2, (0, 3)), (1, (1, 0))], (2, 0))).solvable
+
+
+class TestDecideMpiViaLp:
+    def test_agrees_with_exact_on_the_paper_example(self):
+        exact = decide_mpi(section4_mpi())
+        via_lp = decide_mpi_via_lp(section4_mpi())
+        assert exact.solvable == via_lp.solvable
+        assert section4_mpi().is_solution(via_lp.witness)
+
+    def test_agrees_on_unsolvable_instances(self):
+        inequality = mpi([(1, (1, 0)), (1, (0, 1))], (1, 1))
+        assert decide_mpi(inequality).solvable == decide_mpi_via_lp(inequality).solvable
+
+    def test_zero_polynomial(self):
+        assert decide_mpi_via_lp(mpi([], (1,))).solvable
+
+    @pytest.mark.parametrize(
+        "poly_terms, monomial",
+        [
+            ([(1, (2, 0)), (1, (0, 2))], (1, 1)),
+            ([(1, (1, 1))], (2, 2)),
+            ([(3, (1, 0, 0)), (1, (0, 1, 1))], (1, 1, 1)),
+            ([(1, (4, 0)), (2, (0, 4))], (2, 2)),
+        ],
+    )
+    def test_agreement_on_a_small_family(self, poly_terms, monomial):
+        inequality = mpi(poly_terms, monomial)
+        assert decide_mpi(inequality).solvable == decide_mpi_via_lp(inequality).solvable
+
+
+class TestWitnessFromLinearSolution:
+    def test_paper_linear_solution_produces_a_witness(self):
+        # d = (0, 2, 1) is the solution the paper derives for the linear system.
+        witness = witness_from_linear_solution(section4_mpi(), (0, 2, 1))
+        assert section4_mpi().is_solution(witness)
+        # xi_1 = base^0 must be 1, exactly as in the paper's solutions.
+        assert witness[0] == 1
+
+    def test_invalid_linear_solutions_are_rejected(self):
+        with pytest.raises(DiophantineError):
+            witness_from_linear_solution(section4_mpi(), (1, 2))
+        with pytest.raises(DiophantineError):
+            witness_from_linear_solution(section4_mpi(), (-1, 2, 1))
+
+    def test_linear_solution_that_does_not_separate_degrees_is_rejected(self):
+        # d = (1, 1, 1) does not solve the linear system, so the induced
+        # univariate inequality is unsolvable and the construction fails.
+        with pytest.raises(DiophantineError):
+            witness_from_linear_solution(section4_mpi(), (1, 1, 1))

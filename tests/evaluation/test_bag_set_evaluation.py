@@ -1,0 +1,56 @@
+"""Unit tests for bag-set semantics evaluation."""
+
+from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.evaluation.bag_set_evaluation import (
+    bag_set_multiplicity,
+    evaluate_bag_set,
+    evaluate_bag_set_ucq,
+)
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance, SetInstance
+from repro.relational.terms import Constant
+from repro.workloads.paper_examples import section2_instance, section2_query
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+c1, c2, c5 = Constant("c1"), Constant("c2"), Constant("c5")
+
+
+class TestBagSetEvaluation:
+    def test_multiplicity_is_the_homomorphism_count(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (a, c))])
+        query = parse_cq("q(x) <- R(x, y)")
+        assert evaluate_bag_set(query, instance)[(a,)] == 2
+
+    def test_atom_repetition_does_not_matter_under_bag_set_semantics(self):
+        instance = SetInstance([Atom("R", (a, b))])
+        single = parse_cq("q(x, y) <- R(x, y)")
+        doubled = parse_cq("q(x, y) <- R^2(x, y)")
+        assert evaluate_bag_set(single, instance) == evaluate_bag_set(doubled, instance)
+
+    def test_paper_example_homomorphism_counts(self):
+        answers = evaluate_bag_set(section2_query(), section2_instance())
+        assert answers[(c1, c2)] == 2
+        assert answers[(c1, c5)] == 2
+
+    def test_matches_bag_semantics_on_multiplicity_one_bags(self):
+        instance = section2_instance()
+        uniform = BagInstance.uniform(instance, 1)
+        query = section2_query()
+        assert evaluate_bag(query, uniform) == evaluate_bag_set(query, instance)
+
+    def test_single_answer_multiplicity(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (b, c))])
+        query = parse_cq("q() <- R(x, y), R(y, z)")
+        assert bag_set_multiplicity(query, instance, ()) == 1
+
+    def test_ucq_sums_disjunct_counts(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("S", (a,))])
+        ucq = parse_ucq("q(x) <- R(x, y); q(x) <- S(x)")
+        assert evaluate_bag_set_ucq(ucq, instance)[(a,)] == 2
+
+    def test_projection_free_queries_have_multiplicity_at_most_one(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (b, c))])
+        query = parse_cq("q(x, y) <- R(x, y)")
+        answers = evaluate_bag_set(query, instance)
+        assert all(count == 1 for _, count in answers.items())

@@ -1,0 +1,129 @@
+"""Unit tests for homomorphism and containment-mapping enumeration."""
+
+from repro.evaluation.homomorphisms import (
+    containment_mappings,
+    containment_mappings_to_ground,
+    count_homomorphisms,
+    has_homomorphism,
+    homomorphisms,
+    query_homomorphisms,
+)
+from repro.queries.parser import parse_cq
+from repro.relational.atoms import Atom
+from repro.relational.instances import SetInstance
+from repro.relational.terms import Constant, Variable
+from repro.workloads.paper_examples import section2_instance, section2_query
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestHomomorphisms:
+    def test_single_atom_matches_every_fact(self):
+        target = [Atom("R", (a, b)), Atom("R", (b, c))]
+        assert count_homomorphisms([Atom("R", (x, y))], target) == 2
+
+    def test_repeated_variable_restricts_matches(self):
+        target = [Atom("R", (a, b)), Atom("R", (b, b))]
+        found = list(homomorphisms([Atom("R", (x, x))], target))
+        assert len(found) == 1
+        assert found[0].apply_term(x) == b
+
+    def test_constants_in_source_must_match(self):
+        target = [Atom("R", (a, b)), Atom("R", (b, c))]
+        assert count_homomorphisms([Atom("R", (a, x))], target) == 1
+        assert count_homomorphisms([Atom("R", (c, x))], target) == 0
+
+    def test_join_across_atoms(self):
+        target = [Atom("R", (a, b)), Atom("R", (b, c)), Atom("R", (a, c))]
+        chain = [Atom("R", (x, y)), Atom("R", (y, z))]
+        images = {(h.apply_term(x), h.apply_term(y), h.apply_term(z)) for h in homomorphisms(chain, target)}
+        assert images == {(a, b, c)}
+
+    def test_fixed_bindings_are_honoured(self):
+        target = [Atom("R", (a, b)), Atom("R", (b, c))]
+        found = list(homomorphisms([Atom("R", (x, y))], target, fixed={x: b}))
+        assert len(found) == 1
+        assert found[0].apply_term(y) == c
+
+    def test_inconsistent_fixed_bindings_give_no_results(self):
+        target = [Atom("R", (a, b))]
+        assert not list(homomorphisms([Atom("R", (x, y))], target, fixed={x: c}))
+
+    def test_has_homomorphism(self):
+        target = [Atom("R", (a, b))]
+        assert has_homomorphism([Atom("R", (x, y))], target)
+        assert not has_homomorphism([Atom("S", (x,))], target)
+
+    def test_target_atoms_may_contain_variables(self):
+        # Containment-mapping style: map into a body with variables.
+        target = [Atom("R", (x, y))]
+        found = list(homomorphisms([Atom("R", (z, z))], target))
+        assert not found  # z would need to equal both x and y
+        found = list(homomorphisms([Atom("R", (z, y))], target))
+        assert len(found) == 1
+
+    def test_relation_names_must_match(self):
+        assert count_homomorphisms([Atom("R", (x,))], [Atom("S", (a,))]) == 0
+
+    def test_arity_must_match(self):
+        assert count_homomorphisms([Atom("R", (x,))], [Atom("R", (a, b))]) == 0
+
+
+class TestQueryHomomorphisms:
+    def test_paper_example_has_four_homomorphisms(self):
+        # The Section 2 analysis lists h1..h4: two per answer tuple.
+        assert sum(1 for _ in query_homomorphisms(section2_query(), section2_instance())) == 4
+
+    def test_answer_restriction(self):
+        c1, c2, c5 = Constant("c1"), Constant("c2"), Constant("c5")
+        homs = list(
+            query_homomorphisms(section2_query(), section2_instance(), answer=(c1, c2))
+        )
+        assert len(homs) == 2
+        homs = list(
+            query_homomorphisms(section2_query(), section2_instance(), answer=(c1, c5))
+        )
+        assert len(homs) == 2
+
+    def test_impossible_answer_gives_no_homomorphisms(self):
+        c1 = Constant("c1")
+        assert not list(
+            query_homomorphisms(section2_query(), section2_instance(), answer=(c1, c1))
+        )
+
+    def test_empty_instance(self):
+        query = parse_cq("q(x) <- R(x, y)")
+        assert not list(query_homomorphisms(query, SetInstance()))
+
+
+class TestContainmentMappings:
+    def test_identity_between_syntactically_equal_queries(self):
+        q1 = parse_cq("q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)")
+        q2 = parse_cq("q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)")
+        assert len(list(containment_mappings(q1, q2))) == 1
+        assert len(list(containment_mappings(q2, q1))) == 1
+
+    def test_paper_section2_mapping_counts(self):
+        q1 = parse_cq("q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)")
+        q3 = parse_cq("q3(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4)")
+        # q3 maps into q1 in exactly one way (all existentials to x2)...
+        assert len(list(containment_mappings(q3, q1))) == 1
+        # ...but q1 does not map into q3 at all.
+        assert not list(containment_mappings(q1, q3))
+
+    def test_arity_mismatch_gives_no_mappings(self):
+        q1 = parse_cq("q1(x) <- R(x, x)")
+        q2 = parse_cq("q2(x, y) <- R(x, y)")
+        assert not list(containment_mappings(q2, q1))
+
+    def test_mappings_into_grounded_query(self):
+        containee = parse_cq("q1(x1, x2) <- R^2(x1, x2), R(c1, x2), R^3(x1, c2)")
+        containing = parse_cq("q2(x1, x2) <- R^3(x1, x2), R^2(x1, y1), R^2(y2, y1)")
+        from repro.core.probe_tuples import most_general_probe_tuple
+
+        probe = most_general_probe_tuple(containee)
+        grounded = containee.ground(probe)
+        mappings = list(containment_mappings_to_ground(containing, grounded, probe))
+        # The paper lists exactly three containment mappings h1, h2, h3.
+        assert len(mappings) == 3

@@ -1,0 +1,61 @@
+"""Unit tests for set-semantics evaluation."""
+
+from repro.evaluation.set_evaluation import answer_tuples, evaluate_set, evaluate_set_ucq, holds
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.relational.atoms import Atom
+from repro.relational.instances import SetInstance
+from repro.relational.terms import Constant
+from repro.workloads.paper_examples import section2_instance, section2_query
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+c1, c2, c5 = Constant("c1"), Constant("c2"), Constant("c5")
+
+
+class TestEvaluateSet:
+    def test_paper_example_answers(self):
+        answers = evaluate_set(section2_query(), section2_instance())
+        assert answers == frozenset({(c1, c2), (c1, c5)})
+
+    def test_duplicate_atoms_do_not_change_set_answers(self):
+        instance = SetInstance([Atom("R", (a, b))])
+        single = parse_cq("q(x) <- R(x, y)")
+        doubled = parse_cq("q(x) <- R^2(x, y)")
+        assert evaluate_set(single, instance) == evaluate_set(doubled, instance)
+
+    def test_projection(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (a, c))])
+        query = parse_cq("q(x) <- R(x, y)")
+        assert evaluate_set(query, instance) == frozenset({(a,)})
+
+    def test_empty_result(self):
+        instance = SetInstance([Atom("R", (a, b))])
+        query = parse_cq("q(x) <- R(x, x)")
+        assert evaluate_set(query, instance) == frozenset()
+
+    def test_boolean_query(self):
+        instance = SetInstance([Atom("R", (a, b))])
+        query = parse_cq("q() <- R(x, y)")
+        assert evaluate_set(query, instance) == frozenset({()})
+        assert holds(query, instance)
+
+    def test_answer_tuples_are_distinct(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (a, c))])
+        query = parse_cq("q(x) <- R(x, y)")
+        assert len(list(answer_tuples(query, instance))) == 1
+
+    def test_constants_restrict_answers(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("R", (b, b))])
+        query = parse_cq("q(x) <- R(x, b)", variable_prefixes=frozenset("xyz"))
+        assert evaluate_set(query, instance) == frozenset({(a,), (b,)})
+
+
+class TestEvaluateSetUcq:
+    def test_union_of_answers(self):
+        instance = SetInstance([Atom("R", (a, b)), Atom("S", (c,))])
+        ucq = parse_ucq("q(x) <- R(x, y); q(x) <- S(x)")
+        assert evaluate_set_ucq(ucq, instance) == frozenset({(a,), (c,)})
+
+    def test_overlapping_disjuncts_do_not_duplicate(self):
+        instance = SetInstance([Atom("R", (a, a))])
+        ucq = parse_ucq("q(x) <- R(x, y); q(x) <- R(x, x)")
+        assert evaluate_set_ucq(ucq, instance) == frozenset({(a,)})

@@ -1,0 +1,96 @@
+"""Integration tests: all decision paths agree with each other and with the baselines."""
+
+import pytest
+
+from repro.baselines.refuters import bounded_bag_refuter
+from repro.containment.set_containment import is_set_contained
+from repro.core.decision import (
+    decide_via_all_probes,
+    decide_via_most_general_probe,
+)
+from repro.queries.parser import parse_cq
+from repro.workloads.random_queries import random_containment_pair, random_unrelated_pair
+from repro.workloads.structured import (
+    amplified_query,
+    chain_containment_pair,
+    projection_free_chain,
+    star_containment_pair,
+)
+
+
+def hand_written_pairs():
+    texts = [
+        ("q1(x) <- R(x, x)", "q2(x) <- R(x, x)"),
+        ("q1(x) <- R(x, x)", "q2(x) <- R^2(x, x)"),
+        ("q1(x) <- R^2(x, x)", "q2(x) <- R(x, x)"),
+        ("q1(x) <- R(x, x)", "q2(x) <- R(x, y)"),
+        ("q1(x) <- R(x, a)", "q2(x) <- R(x, y), R(x, a)"),
+        ("q1(x, y) <- R(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(y, z)"),
+        ("q1(x, y) <- R(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(z, x)"),
+        ("q1(x, y) <- R^2(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(y, x)"),
+        ("q1(x) <- R(x, a), R(x, b)", "q2(x) <- R(x, y)"),
+        ("q1(x) <- R(x, a), R(x, b)", "q2(x) <- R(x, y), R(x, z)"),
+    ]
+    return [(parse_cq(left), parse_cq(right)) for left, right in texts]
+
+
+class TestStrategyAgreement:
+    @pytest.mark.parametrize("pair_index", range(10))
+    def test_most_general_and_all_probes_agree_on_hand_written_pairs(self, pair_index):
+        containee, containing = hand_written_pairs()[pair_index]
+        most_general = decide_via_most_general_probe(containee, containing)
+        all_probes = decide_via_all_probes(containee, containing)
+        assert most_general.contained == all_probes.contained
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_most_general_and_all_probes_agree_on_random_containment_pairs(self, seed):
+        containee, containing = random_containment_pair(seed, num_atoms=3, head_size=2)
+        most_general = decide_via_most_general_probe(containee, containing)
+        all_probes = decide_via_all_probes(containee, containing)
+        assert most_general.contained == all_probes.contained
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lp_and_exact_agree_on_random_pairs(self, seed):
+        containee, containing = random_containment_pair(seed + 100, num_atoms=3, head_size=2)
+        exact = decide_via_most_general_probe(containee, containing, use_lp=False)
+        fast = decide_via_most_general_probe(containee, containing, use_lp=True)
+        assert exact.contained == fast.contained
+
+
+class TestSoundnessAgainstBaselines:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_positive_verdicts_survive_bounded_refutation(self, seed):
+        containee, containing = random_containment_pair(seed, num_atoms=3, head_size=2)
+        result = decide_via_most_general_probe(containee, containing)
+        if result.contained:
+            assert not bounded_bag_refuter(containee, containing, max_multiplicity=3).refuted
+            assert is_set_contained(containee, containing)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_negative_verdicts_are_certified(self, seed):
+        containee, containing = random_unrelated_pair(seed, num_atoms=3, head_size=2)
+        if not containee.is_projection_free():
+            pytest.skip("generator produced a non-projection-free containee")
+        result = decide_via_most_general_probe(containee, containing)
+        if not result.contained:
+            assert result.counterexample is not None
+            assert result.counterexample.verify(containee, containing)
+
+
+class TestStructuredFamilies:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_chain_pairs_scale(self, length):
+        containee, containing = chain_containment_pair(length)
+        assert decide_via_most_general_probe(containee, containing).contained
+
+    @pytest.mark.parametrize("rays", [1, 2, 3])
+    def test_star_pairs_scale(self, rays):
+        containee, containing = star_containment_pair(rays)
+        assert decide_via_most_general_probe(containee, containing).contained
+
+    @pytest.mark.parametrize("factor", [2, 3, 5])
+    def test_amplification_direction(self, factor):
+        chain = projection_free_chain(2)
+        amplified = amplified_query(chain, factor)
+        assert decide_via_most_general_probe(chain, amplified).contained
+        assert not decide_via_most_general_probe(amplified, chain).contained

@@ -1,0 +1,149 @@
+"""Unit tests for the JSON serialisation layer."""
+
+import pytest
+
+from repro.core.decision import decide_bag_containment
+from repro.io.json_codec import (
+    SerializationError,
+    atom_from_dict,
+    atom_to_dict,
+    bag_instance_from_dict,
+    bag_instance_to_dict,
+    counterexample_from_dict,
+    counterexample_to_dict,
+    dump_json,
+    load_json,
+    load_queries,
+    query_from_dict,
+    query_to_dict,
+    result_to_dict,
+    save_queries,
+    set_instance_from_dict,
+    set_instance_to_dict,
+    term_from_dict,
+    term_to_dict,
+    ucq_from_dict,
+    ucq_to_dict,
+)
+from repro.queries.parser import parse_cq, parse_ucq
+from repro.relational.atoms import Atom
+from repro.relational.terms import CanonicalConstant, Constant, Variable
+from repro.workloads.paper_examples import (
+    section2_bag,
+    section2_instance,
+    section2_q1,
+    section2_q2,
+    section2_query,
+)
+
+
+class TestTermRoundTrip:
+    @pytest.mark.parametrize(
+        "term",
+        [Variable("x1"), Constant("a"), Constant(42), CanonicalConstant("x2")],
+    )
+    def test_round_trip(self, term):
+        assert term_from_dict(term_to_dict(term)) == term
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(SerializationError):
+            term_from_dict({"kind": "mystery"})
+
+
+class TestAtomAndInstanceRoundTrip:
+    def test_atom_round_trip(self):
+        atom = Atom("R", (Variable("x"), Constant("a"), CanonicalConstant("y")))
+        assert atom_from_dict(atom_to_dict(atom)) == atom
+
+    def test_atom_kind_check(self):
+        with pytest.raises(SerializationError):
+            atom_from_dict({"kind": "cq"})
+
+    def test_set_instance_round_trip(self):
+        instance = section2_instance()
+        assert set_instance_from_dict(set_instance_to_dict(instance)) == instance
+
+    def test_bag_instance_round_trip(self):
+        bag = section2_bag()
+        assert bag_instance_from_dict(bag_instance_to_dict(bag)) == bag
+
+    def test_instance_kind_checks(self):
+        with pytest.raises(SerializationError):
+            set_instance_from_dict({"kind": "bag_instance", "facts": []})
+        with pytest.raises(SerializationError):
+            bag_instance_from_dict({"kind": "set_instance", "facts": []})
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize(
+        "query_factory",
+        [section2_query, section2_q1, section2_q2],
+    )
+    def test_paper_queries_round_trip(self, query_factory):
+        query = query_factory()
+        decoded = query_from_dict(query_to_dict(query))
+        assert decoded == query
+        assert decoded.name == query.name
+
+    def test_queries_with_constants_round_trip(self):
+        query = parse_cq("q(x1) <- R^3(x1, c1), S(x1, 7)")
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_ucq_round_trip(self):
+        ucq = parse_ucq("q(x) <- R(x, y); q(x) <- S(x)")
+        assert ucq_from_dict(ucq_to_dict(ucq)) == ucq
+
+    def test_head_must_decode_to_variables(self):
+        document = query_to_dict(parse_cq("q(x) <- R(x, x)"))
+        document["head"] = [{"kind": "constant", "value": "a"}]
+        with pytest.raises(SerializationError):
+            query_from_dict(document)
+
+
+class TestResultSerialization:
+    def test_counterexample_round_trip_and_verification(self):
+        result = decide_bag_containment(section2_q2(), section2_q1())
+        assert result.counterexample is not None
+        decoded = counterexample_from_dict(counterexample_to_dict(result.counterexample))
+        assert decoded == result.counterexample
+        assert decoded.verify(section2_q2(), section2_q1())
+
+    def test_result_document_shape(self):
+        result = decide_bag_containment(section2_q2(), section2_q1())
+        document = result_to_dict(result)
+        assert document["contained"] is False
+        assert document["strategy"] == "most-general"
+        assert document["counterexample"] is not None
+        assert document["encodings"][0]["num_mappings"] >= 1
+        # The document is JSON-serialisable as-is.
+        import json
+
+        json.dumps(document)
+
+    def test_positive_result_document(self):
+        result = decide_bag_containment(section2_q1(), section2_q2())
+        document = result_to_dict(result)
+        assert document["contained"] is True
+        assert document["counterexample"] is None
+
+
+class TestFileHelpers:
+    def test_save_and_load_queries(self, tmp_path):
+        workload = [section2_q1(), section2_q2(), parse_cq("q(x) <- R(x, a)")]
+        path = save_queries(workload, tmp_path / "workload.json")
+        assert load_queries(path) == workload
+
+    def test_dump_and_load_json(self, tmp_path):
+        path = dump_json({"kind": "workload", "queries": []}, tmp_path / "empty.json")
+        assert load_json(path) == {"kind": "workload", "queries": []}
+
+    def test_load_queries_rejects_other_documents(self, tmp_path):
+        path = dump_json({"kind": "something_else"}, tmp_path / "bad.json")
+        with pytest.raises(SerializationError):
+            load_queries(path)
+
+    def test_load_json_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_json(path)

@@ -1,0 +1,53 @@
+"""Unit tests for the exact-arithmetic helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.linalg.rationals import (
+    as_fraction_vector,
+    clear_denominators,
+    dot,
+    is_zero_vector,
+    normalize_integer_vector,
+    scale_to_natural,
+)
+
+
+class TestConversions:
+    def test_as_fraction_vector(self):
+        assert as_fraction_vector([1, "1/2", 0.5]) == (Fraction(1), Fraction(1, 2), Fraction(1, 2))
+
+    def test_clear_denominators(self):
+        assert clear_denominators([Fraction(1, 2), Fraction(1, 3)]) == (3, 2)
+        assert clear_denominators([Fraction(2), Fraction(3)]) == (2, 3)
+        assert clear_denominators([]) == ()
+
+    def test_normalize_integer_vector(self):
+        assert normalize_integer_vector([4, 6, 8]) == (2, 3, 4)
+        assert normalize_integer_vector([0, 0]) == (0, 0)
+        assert normalize_integer_vector([3, 5]) == (3, 5)
+        assert normalize_integer_vector([-4, 6]) == (-2, 3)
+
+    def test_scale_to_natural(self):
+        assert scale_to_natural([Fraction(1, 2), Fraction(3, 2)]) == (1, 3)
+        assert scale_to_natural([Fraction(0), Fraction(2)]) == (0, 1)
+
+    def test_scale_to_natural_rejects_negative_components(self):
+        with pytest.raises(DimensionMismatchError):
+            scale_to_natural([Fraction(-1, 2), Fraction(1)])
+
+
+class TestDot:
+    def test_dot_product(self):
+        assert dot([1, 2, 3], [4, 5, 6]) == 32
+        assert dot([Fraction(1, 2), 2], [2, Fraction(1, 4)]) == Fraction(3, 2)
+
+    def test_dot_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            dot([1, 2], [1])
+
+    def test_is_zero_vector(self):
+        assert is_zero_vector([0, Fraction(0)])
+        assert not is_zero_vector([0, 1])

@@ -1,0 +1,74 @@
+"""Unit tests for homogeneous strict inequality systems."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import DimensionMismatchError, LinearSystemError
+from repro.linalg.systems import HomogeneousStrictSystem
+
+
+class TestConstruction:
+    def test_rows_are_converted_to_fractions(self):
+        system = HomogeneousStrictSystem([[1, -2], [0.5, 1]])
+        assert system.rows[1][0] == Fraction(1, 2)
+        assert system.dimension == 2
+        assert len(system) == 2
+
+    def test_empty_system_needs_explicit_dimension(self):
+        with pytest.raises(LinearSystemError):
+            HomogeneousStrictSystem([])
+        assert HomogeneousStrictSystem([], dimension=3).dimension == 3
+
+    def test_inconsistent_row_lengths_are_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            HomogeneousStrictSystem([[1, 2], [1]])
+
+    def test_equality_and_hash(self):
+        first = HomogeneousStrictSystem([[1, 2]])
+        second = HomogeneousStrictSystem([[1, 2]])
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestEvaluation:
+    def test_is_solution(self):
+        system = HomogeneousStrictSystem([[1, -1], [0, 1]])
+        assert system.is_solution([3, 1])
+        assert not system.is_solution([1, 1])   # first row evaluates to 0, not > 0
+        assert not system.is_solution([0, -1])
+
+    def test_slack_and_violated_rows(self):
+        system = HomogeneousStrictSystem([[1, -1], [0, 1]])
+        assert system.slack([2, 5]) == (Fraction(-3), Fraction(5))
+        assert system.violated_rows([2, 5]) == [0]
+        assert system.violated_rows([5, 2]) == []
+
+    def test_is_solution_checks_dimension(self):
+        system = HomogeneousStrictSystem([[1, -1]])
+        with pytest.raises(DimensionMismatchError):
+            system.is_solution([1])
+
+    def test_empty_system_accepts_everything(self):
+        system = HomogeneousStrictSystem([], dimension=2)
+        assert system.is_solution([0, 0])
+
+
+class TestDerivedSystems:
+    def test_with_positivity_adds_identity_rows(self):
+        system = HomogeneousStrictSystem([[1, -1]])
+        positive = system.with_positivity()
+        assert len(positive) == 3
+        assert positive.is_solution([2, 1])
+        assert not positive.is_solution([2, 0])    # positivity row fails
+
+    def test_restricted_to(self):
+        system = HomogeneousStrictSystem([[1, 0], [0, 1], [1, 1]])
+        restricted = system.restricted_to([0, 2])
+        assert len(restricted) == 2
+        assert restricted.rows[0] == (Fraction(1), Fraction(0))
+
+    def test_max_coefficient_sum(self):
+        system = HomogeneousStrictSystem([[1, -3], [2, 2]])
+        assert system.max_coefficient_sum() == 4
+        assert HomogeneousStrictSystem([], dimension=2).max_coefficient_sum() == 0

@@ -1,0 +1,135 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+The strategies generate *small* objects on purpose: the properties being
+checked (exactness of the solvers, agreement between independent code paths,
+algebraic laws) do not need large instances, and small instances keep the
+whole property suite fast and the shrunk counterexamples readable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.diophantine.inequalities import MonomialPolynomialInequality
+from repro.diophantine.monomials import Monomial
+from repro.diophantine.polynomials import Polynomial
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance
+from repro.relational.terms import Constant, Variable
+
+__all__ = [
+    "variables",
+    "constants",
+    "terms",
+    "atoms",
+    "bag_instances",
+    "projection_free_queries",
+    "queries_over_shared_head",
+    "exponent_vectors",
+    "mpis",
+    "strict_rows",
+]
+
+#: A small pool of variable and constant names keeps collisions (joins) likely.
+_VARIABLE_NAMES = ("x", "y", "z")
+_CONSTANT_NAMES = ("a", "b")
+_RELATION_NAMES = ("R", "S")
+
+
+def variables() -> st.SearchStrategy[Variable]:
+    return st.sampled_from([Variable(name) for name in _VARIABLE_NAMES])
+
+
+def constants() -> st.SearchStrategy[Constant]:
+    return st.sampled_from([Constant(name) for name in _CONSTANT_NAMES])
+
+
+def terms() -> st.SearchStrategy:
+    return st.one_of(variables(), constants())
+
+
+def atoms(term_strategy: st.SearchStrategy | None = None) -> st.SearchStrategy[Atom]:
+    if term_strategy is None:
+        term_strategy = terms()
+    return st.builds(
+        lambda relation, first, second: Atom(relation, (first, second)),
+        st.sampled_from(_RELATION_NAMES),
+        term_strategy,
+        term_strategy,
+    )
+
+
+def ground_atoms() -> st.SearchStrategy[Atom]:
+    return atoms(constants())
+
+
+def bag_instances(max_multiplicity: int = 4) -> st.SearchStrategy[BagInstance]:
+    return st.dictionaries(
+        ground_atoms(), st.integers(min_value=1, max_value=max_multiplicity), min_size=1, max_size=4
+    ).map(BagInstance)
+
+
+def projection_free_queries(max_atoms: int = 3, max_multiplicity: int = 2) -> st.SearchStrategy[ConjunctiveQuery]:
+    """Projection-free CQs with head (x, y) and a small random body."""
+    head = (Variable("x"), Variable("y"))
+
+    def build(extra_atoms: list[Atom], multiplicities: list[int]) -> ConjunctiveQuery:
+        body: dict[Atom, int] = {Atom("R", head): 1}
+        for atom, multiplicity in zip(extra_atoms, multiplicities):
+            body[atom] = body.get(atom, 0) + multiplicity
+        return ConjunctiveQuery(head, body, name="q")
+
+    head_terms = st.one_of(st.sampled_from(list(head)), constants())
+    return st.builds(
+        build,
+        st.lists(atoms(head_terms), min_size=0, max_size=max_atoms - 1),
+        st.lists(st.integers(min_value=1, max_value=max_multiplicity), min_size=max_atoms - 1, max_size=max_atoms - 1),
+    )
+
+
+def queries_over_shared_head(max_atoms: int = 3) -> st.SearchStrategy[ConjunctiveQuery]:
+    """CQs with head (x, y) that may also use one existential variable z."""
+    head = (Variable("x"), Variable("y"))
+
+    def build(extra_atoms: list[Atom]) -> ConjunctiveQuery:
+        body: dict[Atom, int] = {Atom("R", head): 1}
+        for atom in extra_atoms:
+            body[atom] = body.get(atom, 0) + 1
+        return ConjunctiveQuery(head, body, name="p")
+
+    return st.builds(build, st.lists(atoms(), min_size=0, max_size=max_atoms - 1))
+
+
+def exponent_vectors(dimension: int, max_exponent: int = 4) -> st.SearchStrategy[tuple[int, ...]]:
+    return st.tuples(*([st.integers(min_value=0, max_value=max_exponent)] * dimension))
+
+
+def mpis(dimension: int = 2, max_monomials: int = 3) -> st.SearchStrategy[MonomialPolynomialInequality]:
+    """Random small MPIs with natural coefficients."""
+
+    def build(monomial_exponents, poly_terms) -> MonomialPolynomialInequality:
+        polynomial = (
+            Polynomial([Monomial(coefficient, exponents) for coefficient, exponents in poly_terms], dimension)
+            if poly_terms
+            else Polynomial.zero(dimension)
+        )
+        return MonomialPolynomialInequality(polynomial, Monomial(1, monomial_exponents))
+
+    return st.builds(
+        build,
+        exponent_vectors(dimension),
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=3), exponent_vectors(dimension)),
+            min_size=0,
+            max_size=max_monomials,
+        ),
+    )
+
+
+def strict_rows(dimension: int = 3, max_rows: int = 4) -> st.SearchStrategy[list[list[int]]]:
+    return st.lists(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=dimension, max_size=dimension),
+        min_size=1,
+        max_size=max_rows,
+    )

@@ -1,0 +1,118 @@
+"""Property-based tests for the Diophantine and linear layers."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diophantine.solver import decide_mpi, decide_mpi_via_lp
+from repro.linalg.fourier_motzkin import solve_strict_system
+from repro.linalg.lp_scipy import lp_feasibility
+from repro.linalg.rationals import clear_denominators, normalize_integer_vector, scale_to_natural
+from repro.linalg.systems import HomogeneousStrictSystem
+
+from tests.properties.strategies import mpis, strict_rows
+
+
+class TestLinearSolvers:
+    @given(strict_rows(dimension=3, max_rows=4))
+    @settings(max_examples=60, deadline=None)
+    def test_fourier_motzkin_witnesses_always_verify(self, rows):
+        system = HomogeneousStrictSystem(rows, 3)
+        result = solve_strict_system(system)
+        if result.feasible:
+            assert system.is_solution(result.witness)
+
+    @given(strict_rows(dimension=3, max_rows=4))
+    @settings(max_examples=60, deadline=None)
+    def test_positive_witnesses_are_positive(self, rows):
+        system = HomogeneousStrictSystem(rows, 3)
+        result = solve_strict_system(system, require_positive=True)
+        if result.feasible:
+            assert all(value > 0 for value in result.witness)
+            assert system.is_solution(result.witness)
+
+    @given(strict_rows(dimension=3, max_rows=3))
+    @settings(max_examples=40, deadline=None)
+    def test_lp_feasible_implies_exactly_feasible(self, rows):
+        """The LP fast path never claims feasibility the exact solver denies
+        (when it returns an exactly-verified witness)."""
+        system = HomogeneousStrictSystem(rows, 3)
+        lp = lp_feasibility(system)
+        exact = solve_strict_system(system)
+        if lp.feasible and lp.exact:
+            assert exact.feasible
+        if not lp.feasible:
+            # An infeasible LP verdict on these tiny integer systems matches
+            # the exact answer (the margin formulation is exact up to
+            # numerical noise far above the tolerance).
+            assert not exact.feasible
+
+    @given(strict_rows(dimension=2, max_rows=3))
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_is_scale_invariant(self, rows):
+        system = HomogeneousStrictSystem(rows, 2)
+        scaled = HomogeneousStrictSystem([[3 * value for value in row] for row in rows], 2)
+        assert solve_strict_system(system).feasible == solve_strict_system(scaled).feasible
+
+
+class TestRationalHelpers:
+    @given(st.lists(st.fractions(min_value=0, max_value=10), min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_clear_denominators_preserves_direction(self, vector):
+        integers = clear_denominators(vector)
+        assert len(integers) == len(vector)
+        # The scaled vector is a positive multiple of the original: ratios agree.
+        nonzero = [(i, v) for i, v in zip(integers, vector) if v != 0]
+        for (i1, v1) in nonzero:
+            for (i2, v2) in nonzero:
+                assert Fraction(i1) * Fraction(v2) == Fraction(i2) * Fraction(v1)
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_normalize_keeps_signs_and_ratios(self, vector):
+        normalized = normalize_integer_vector(vector)
+        for original, scaled in zip(vector, normalized):
+            assert (original == 0) == (scaled == 0)
+            assert original * 1 >= 0 if scaled >= 0 else original < 0
+
+    @given(st.lists(st.fractions(min_value=0, max_value=5), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_to_natural_produces_naturals(self, vector):
+        result = scale_to_natural(vector)
+        assert all(isinstance(value, int) and value >= 0 for value in result)
+        assert all((value == 0) == (component == 0) for value, component in zip(result, vector))
+
+
+class TestMpiDecision:
+    @given(mpis(dimension=2, max_monomials=3))
+    @settings(max_examples=50, deadline=None)
+    def test_solvable_decisions_carry_verified_witnesses(self, inequality):
+        decision = decide_mpi(inequality)
+        if decision.solvable:
+            assert decision.witness is not None
+            assert inequality.is_solution(decision.witness)
+        else:
+            assert decision.witness is None
+
+    @given(mpis(dimension=2, max_monomials=3), st.tuples(st.integers(0, 5), st.integers(0, 5)))
+    @settings(max_examples=60, deadline=None)
+    def test_unsolvable_mpis_have_no_small_solutions(self, inequality, point):
+        decision = decide_mpi(inequality)
+        if not decision.solvable:
+            assert not inequality.is_solution(point)
+
+    @given(mpis(dimension=2, max_monomials=2))
+    @settings(max_examples=30, deadline=None)
+    def test_lp_and_exact_paths_agree(self, inequality):
+        assert decide_mpi(inequality).solvable == decide_mpi_via_lp(inequality).solvable
+
+    @given(mpis(dimension=3, max_monomials=3))
+    @settings(max_examples=30, deadline=None)
+    def test_proposition_4_1_zero_and_one_are_never_solutions(self, inequality):
+        # Proposition 4.1 assumes every unknown actually occurs in the monomial
+        # (which is always the case for the MPIs built from bag containment).
+        if all(exponent > 0 for exponent in inequality.monomial.exponents):
+            assert not inequality.is_solution((0, 0, 0))
+        if not inequality.polynomial.is_zero():
+            assert not inequality.is_solution((1, 1, 1))

@@ -1,0 +1,73 @@
+"""Property-based tests for the evaluation engines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.evaluation.bag_set_evaluation import evaluate_bag_set
+from repro.evaluation.set_evaluation import evaluate_set
+from repro.relational.instances import BagInstance
+
+from tests.properties.strategies import bag_instances, projection_free_queries, queries_over_shared_head
+
+
+class TestBagEvaluationProperties:
+    @given(queries_over_shared_head(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_support_of_the_bag_answer_is_the_set_answer(self, query, bag):
+        bag_answer = evaluate_bag(query, bag)
+        set_answer = evaluate_set(query, bag.support())
+        assert bag_answer.support() == set_answer
+
+    @given(queries_over_shared_head(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_multiplicity_one_bags_reduce_to_bag_set_semantics(self, query, bag):
+        uniform = BagInstance.uniform(bag.support(), 1)
+        assert evaluate_bag(query, uniform) == evaluate_bag_set(query, bag.support())
+
+    @given(queries_over_shared_head(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_increasing_a_multiplicity_never_decreases_answers(self, query, bag):
+        first_fact = next(iter(bag))
+        bigger = bag.updated(first_fact, bag[first_fact] + 1)
+        before = evaluate_bag(query, bag)
+        after = evaluate_bag(query, bigger)
+        assert before.is_subbag_of(after)
+
+    @given(projection_free_queries(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_projection_free_answers_factor_into_per_atom_powers(self, query, bag):
+        """For a projection-free query each answer multiplicity is the product
+        of fact multiplicities raised to the body multiplicities (there is a
+        single homomorphism per answer)."""
+        answers = evaluate_bag(query, bag)
+        for answer, count in answers.items():
+            grounded = query.ground(answer)
+            expected = 1
+            for atom, exponent in grounded.body.items():
+                expected *= bag[atom] ** exponent
+            assert count == expected
+
+    @given(queries_over_shared_head(), bag_instances(), st.integers(min_value=2, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_the_bag_scales_each_answer_by_degree(self, query, bag, factor):
+        """Scaling every fact multiplicity by k multiplies each homomorphism's
+        contribution by k^degree; the answer multiplicity therefore scales by
+        exactly k^degree because every contribution has the same total degree."""
+        scaled = bag.scale(factor)
+        before = evaluate_bag(query, bag)
+        after = evaluate_bag(query, scaled)
+        degree = query.degree()
+        for answer, count in before.items():
+            assert after[answer] == count * factor**degree
+
+    @given(bag_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_single_atom_query_returns_the_bag_itself(self, bag):
+        from repro.queries.parser import parse_cq
+
+        query = parse_cq("q(x, y) <- R(x, y)")
+        answers = evaluate_bag(query, bag)
+        for fact, count in bag.items():
+            if fact.relation == "R":
+                assert answers[fact.terms] == count

@@ -1,0 +1,90 @@
+"""Property-based tests for the relational substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance
+from repro.relational.substitutions import Substitution, unify_tuples
+from repro.relational.terms import Constant, Variable
+
+from tests.properties.strategies import atoms, bag_instances, constants, terms, variables
+
+
+class TestSubstitutionLaws:
+    @given(
+        st.dictionaries(variables(), terms(), max_size=3),
+        st.dictionaries(variables(), terms(), max_size=3),
+        atoms(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_composition_applies_left_then_right(self, first_map, second_map, atom):
+        first, second = Substitution(first_map), Substitution(second_map)
+        composed = first.compose(second)
+        assert composed.apply_atom(atom) == second.apply_atom(first.apply_atom(atom))
+
+    @given(st.dictionaries(variables(), terms(), max_size=3), atoms())
+    @settings(max_examples=40, deadline=None)
+    def test_identity_is_neutral_for_composition(self, mapping, atom):
+        sigma = Substitution(mapping)
+        identity = Substitution.identity()
+        assert sigma.compose(identity).apply_atom(atom) == sigma.apply_atom(atom)
+        assert identity.compose(sigma).apply_atom(atom) == sigma.apply_atom(atom)
+
+    @given(st.dictionaries(variables(), constants(), max_size=3), atoms())
+    @settings(max_examples=40, deadline=None)
+    def test_ground_substitutions_are_idempotent(self, mapping, atom):
+        sigma = Substitution(mapping)
+        once = sigma.apply_atom(atom)
+        assert sigma.apply_atom(once) == once
+
+    @given(st.lists(st.tuples(variables(), constants()), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_unification_produces_a_unifier(self, pairs):
+        pattern = tuple(variable for variable, _ in pairs)
+        # Build a consistent target by always using the first constant chosen
+        # for a repeated variable.
+        assignment = {}
+        for variable, constant in pairs:
+            assignment.setdefault(variable, constant)
+        target = tuple(assignment[variable] for variable in pattern)
+        unifier = unify_tuples(pattern, target)
+        assert unifier.apply_tuple(pattern) == target
+
+
+class TestBagLaws:
+    @given(bag_instances(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_sum_is_an_upper_bound(self, left, right):
+        combined = left.merge_sum(right)
+        assert left.is_subbag_of(combined)
+        assert right.is_subbag_of(combined)
+        assert combined.total_multiplicity() == left.total_multiplicity() + right.total_multiplicity()
+
+    @given(bag_instances(), bag_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_max_is_the_least_upper_bound(self, left, right):
+        combined = left.merge_max(right)
+        assert left.is_subbag_of(combined)
+        assert right.is_subbag_of(combined)
+        for fact in combined:
+            assert combined[fact] == max(left[fact], right[fact])
+
+    @given(bag_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_subbag_is_reflexive_and_antisymmetric(self, bag):
+        assert bag.is_subbag_of(bag)
+        smaller = BagInstance({fact: count - 1 for fact, count in bag.items()})
+        assert smaller.is_subbag_of(bag)
+        if smaller != bag:
+            assert not bag.is_subbag_of(smaller)
+
+    @given(bag_instances(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_multiplies_the_total(self, bag, factor):
+        assert bag.scale(factor).total_multiplicity() == factor * bag.total_multiplicity()
+
+    @given(bag_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_support_round_trip(self, bag):
+        assert BagInstance.uniform(bag.support(), 1).support() == bag.support()

@@ -1,0 +1,65 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.builder import QueryBuilder
+from repro.queries.parser import parse_cq
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+
+class TestQueryBuilder:
+    def test_builds_paper_example(self):
+        built = (
+            QueryBuilder("q")
+            .head("x1", "x2")
+            .atom("R", "x1", "y1", multiplicity=2)
+            .atom("R", "x1", "y2")
+            .atom("P", "y2", "y3", multiplicity=2)
+            .atom("P", "x2", "y4")
+            .build()
+        )
+        parsed = parse_cq("q(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4)")
+        assert built == parsed
+
+    def test_string_constants_follow_parser_conventions(self):
+        query = QueryBuilder("q").head("x").atom("R", "x", "alice").build()
+        assert Constant("alice") in query.active_domain()
+
+    def test_terms_are_accepted_verbatim(self):
+        query = QueryBuilder("q").head(Variable("x")).atom("R", Variable("x"), Constant("x")).build()
+        assert query.multiplicity(Atom("R", (Variable("x"), Constant("x")))) == 1
+
+    def test_integer_constants(self):
+        query = QueryBuilder("q").head("x").atom("R", "x", 7).build()
+        assert Constant(7) in query.active_domain()
+
+    def test_repeated_atom_calls_accumulate(self):
+        query = QueryBuilder("q").head("x").atom("R", "x", "x").atom("R", "x", "x").build()
+        assert query.multiplicity(Atom("R", (Variable("x"), Variable("x")))) == 2
+
+    def test_add_head_appends(self):
+        query = QueryBuilder("q").add_head("x").add_head("y").atom("R", "x", "y").build()
+        assert query.head == (Variable("x"), Variable("y"))
+
+    def test_atoms_bulk_add(self):
+        atom = Atom("R", (Variable("x"), Variable("x")))
+        query = QueryBuilder("q").head("x").atoms([atom, atom]).build()
+        assert query.multiplicity(atom) == 2
+
+    def test_head_rejects_constants(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").head("a")
+
+    def test_zero_multiplicity_is_rejected(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").atom("R", "x", multiplicity=0)
+
+    def test_builder_is_reusable(self):
+        builder = QueryBuilder("q").head("x").atom("R", "x", "x")
+        first = builder.build()
+        builder.atom("S", "x")
+        second = builder.build()
+        assert len(first.body_atoms()) == 1
+        assert len(second.body_atoms()) == 2

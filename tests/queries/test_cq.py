@@ -1,0 +1,216 @@
+"""Unit tests for conjunctive queries in bag representation."""
+
+import pytest
+
+from repro.exceptions import NotProjectionFreeError, QueryError, UnificationError
+from repro.queries.builder import QueryBuilder
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.instances import SetInstance
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import CanonicalConstant, Constant, Variable
+
+x1, x2, y1, y2, y3, y4 = (Variable(name) for name in ("x1", "x2", "y1", "y2", "y3", "y4"))
+c1, c2 = Constant("c1"), Constant("c2")
+
+
+def paper_query() -> ConjunctiveQuery:
+    """The Section 2 running example with duplicate atoms given positionally."""
+    return ConjunctiveQuery(
+        (x1, x2),
+        [
+            Atom("R", (x1, y1)),
+            Atom("R", (x1, y1)),
+            Atom("R", (x1, y2)),
+            Atom("P", (y2, y3)),
+            Atom("P", (y2, y3)),
+            Atom("P", (x2, y4)),
+        ],
+        name="q",
+    )
+
+
+class TestBagRepresentation:
+    def test_duplicate_atoms_become_multiplicities(self):
+        query = paper_query()
+        assert query.multiplicity(Atom("R", (x1, y1))) == 2
+        assert query.multiplicity(Atom("R", (x1, y2))) == 1
+        assert query.multiplicity(Atom("P", (y2, y3))) == 2
+        assert query.multiplicity(Atom("P", (x2, y4))) == 1
+        assert len(query.body_atoms()) == 4
+        assert query.degree() == 6
+
+    def test_mapping_construction_matches_positional(self):
+        from_mapping = ConjunctiveQuery(
+            (x1, x2),
+            {
+                Atom("R", (x1, y1)): 2,
+                Atom("R", (x1, y2)): 1,
+                Atom("P", (y2, y3)): 2,
+                Atom("P", (x2, y4)): 1,
+            },
+        )
+        assert from_mapping == paper_query()
+
+    def test_zero_multiplicity_atoms_are_dropped(self):
+        query = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 1, Atom("S", (x1,)): 0})
+        assert len(query.body_atoms()) == 1
+
+    def test_multiplicity_of_absent_atom_is_zero(self):
+        assert paper_query().multiplicity(Atom("T", (x1,))) == 0
+
+    def test_empty_body_is_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((x1,), {})
+
+    def test_unsafe_queries_are_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((x1, x2), [Atom("R", (x1, x1))])
+
+    def test_negative_multiplicities_are_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): -1})
+
+    def test_non_variable_head_is_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery((c1,), [Atom("R", (c1, c1))])  # type: ignore[arg-type]
+
+
+class TestStructure:
+    def test_variables_and_existential_variables(self):
+        query = paper_query()
+        assert query.head_variables() == frozenset({x1, x2})
+        assert query.existential_variables() == frozenset({y1, y2, y3, y4})
+        assert query.variables() == frozenset({x1, x2, y1, y2, y3, y4})
+
+    def test_projection_free_detection(self):
+        assert not paper_query().is_projection_free()
+        projection_free = ConjunctiveQuery((x1, x2), [Atom("R", (x1, x2))])
+        assert projection_free.is_projection_free()
+        projection_free.require_projection_free()
+        with pytest.raises(NotProjectionFreeError):
+            paper_query().require_projection_free()
+
+    def test_boolean_and_ground_queries(self):
+        boolean = ConjunctiveQuery((), [Atom("R", (c1, c2))])
+        assert boolean.is_boolean()
+        assert boolean.is_ground()
+        assert boolean.is_projection_free()
+        assert not paper_query().is_boolean()
+
+    def test_active_domain_and_relations(self):
+        query = ConjunctiveQuery((x1,), [Atom("R", (x1, c1)), Atom("S", (c2,))], name="q")
+        assert query.active_domain() == frozenset({c1, c2})
+        assert query.relation_names() == frozenset({"R", "S"})
+        assert query.schema().arity_of("R") == 2
+
+    def test_repeated_head_variables_are_allowed(self):
+        query = ConjunctiveQuery((x1, x1), [Atom("R", (x1, x1))])
+        assert query.arity == 2
+        assert query.head == (x1, x1)
+
+
+class TestCanonicalInstance:
+    def test_variables_are_frozen(self):
+        query = ConjunctiveQuery((x1,), [Atom("R", (x1, c1))])
+        assert query.canonical_instance() == SetInstance(
+            [Atom("R", (CanonicalConstant("x1"), c1))]
+        )
+
+    def test_canonical_bag_keeps_multiplicities(self):
+        query = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 3})
+        bag = query.canonical_bag()
+        assert bag[Atom("R", (CanonicalConstant("x1"), CanonicalConstant("x1")))] == 3
+
+    def test_canonical_bag_sums_collapsing_atoms(self):
+        # R(x1, y1) and R(x1, y2) stay distinct after freezing, but a query
+        # where two distinct atoms become equal can only arise through
+        # substitution, so here we simply check both frozen atoms exist.
+        query = ConjunctiveQuery((x1,), {Atom("R", (x1, y1)): 1, Atom("R", (x1, y2)): 2})
+        assert len(query.canonical_bag()) == 2
+
+
+class TestSubstitutionApplication:
+    def test_equation_1_sums_collapsing_multiplicities(self):
+        query = paper_query()
+        sigma = Substitution({y1: x2, y2: x2, y3: x2, y4: x2})
+        image = query.apply_substitution(sigma)
+        assert image.multiplicity(Atom("R", (x1, x2))) == 3
+        assert image.multiplicity(Atom("P", (x2, x2))) == 3
+        assert len(image.body_atoms()) == 2
+
+    def test_head_follows_the_substitution(self):
+        query = ConjunctiveQuery((x1, x2), [Atom("R", (x1, x2))])
+        image = query.apply_substitution(Substitution({x2: x1}))
+        assert image.head == (x1, x1)
+
+    def test_grounding_on_constants(self):
+        query = ConjunctiveQuery((x1, x2), {Atom("R", (x1, x2)): 2})
+        grounded = query.ground((c1, c2))
+        assert grounded.is_boolean()
+        assert grounded.is_ground()
+        assert grounded.multiplicity(Atom("R", (c1, c2))) == 2
+
+    def test_grounding_with_repeated_head_variable(self):
+        query = ConjunctiveQuery((x1, x1), [Atom("R", (x1, x1))])
+        grounded = query.ground((c1, c1))
+        assert grounded.multiplicity(Atom("R", (c1, c1))) == 1
+        with pytest.raises(UnificationError):
+            query.ground((c1, c2))
+
+    def test_grounding_rejects_variables_in_probe(self):
+        query = ConjunctiveQuery((x1,), [Atom("R", (x1, x1))])
+        with pytest.raises(UnificationError):
+            query.ground((y1,))
+
+    def test_grounding_merges_atoms_that_collapse(self):
+        query = ConjunctiveQuery((x1, x2), {Atom("R", (x1, x2)): 1, Atom("R", (x2, x1)): 2})
+        grounded = query.ground((c1, c1))
+        assert grounded.multiplicity(Atom("R", (c1, c1))) == 3
+
+
+class TestTransformations:
+    def test_rename_variables(self):
+        query = ConjunctiveQuery((x1,), [Atom("R", (x1, y1))])
+        renamed = query.rename_variables({x1: x2, y1: y2})
+        assert renamed.head == (x2,)
+        assert renamed.multiplicity(Atom("R", (x2, y2))) == 1
+
+    def test_rename_requires_injectivity(self):
+        query = ConjunctiveQuery((x1,), [Atom("R", (x1, y1))])
+        with pytest.raises(QueryError):
+            query.rename_variables({x1: x2, y1: x2})
+
+    def test_set_body_collapses_multiplicities(self):
+        query = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 5})
+        assert query.set_body().multiplicity(Atom("R", (x1, x1))) == 1
+
+    def test_with_name_and_with_head(self):
+        query = ConjunctiveQuery((x1, x2), [Atom("R", (x1, x2))], name="q")
+        assert query.with_name("p").name == "p"
+        assert query.with_head((x2, x1)).head == (x2, x1)
+
+    def test_conjoin_sums_bodies_and_concatenates_heads(self):
+        left = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 1})
+        right = ConjunctiveQuery((x2,), {Atom("R", (x2, x2)): 2, Atom("R", (x1, x1)): 1})
+        combined = left.conjoin(right)
+        assert combined.head == (x1, x2)
+        assert combined.multiplicity(Atom("R", (x1, x1))) == 2
+        assert combined.multiplicity(Atom("R", (x2, x2))) == 2
+
+
+class TestEqualityAndDisplay:
+    def test_equality_ignores_name(self):
+        first = ConjunctiveQuery((x1,), [Atom("R", (x1, x1))], name="a")
+        second = ConjunctiveQuery((x1,), [Atom("R", (x1, x1))], name="b")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_equality_respects_multiplicities(self):
+        first = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 1})
+        second = ConjunctiveQuery((x1,), {Atom("R", (x1, x1)): 2})
+        assert first != second
+
+    def test_str_mentions_multiplicities(self):
+        rendered = str(QueryBuilder("q").head("x1").atom("R", "x1", "x1", multiplicity=2).build())
+        assert "R^2" in rendered

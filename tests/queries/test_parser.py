@@ -1,0 +1,129 @@
+"""Unit tests for the datalog-style parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.queries.parser import parse_atom, parse_cq, parse_term, parse_ucq
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+
+class TestParseTerm:
+    def test_variable_prefixes(self):
+        assert parse_term("x1") == Variable("x1")
+        assert parse_term("y") == Variable("y")
+        assert parse_term("Z3") == Variable("Z3")
+
+    def test_constants(self):
+        assert parse_term("a") == Constant("a")
+        assert parse_term("c1") == Constant("c1")
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-7") == Constant(-7)
+
+    def test_quoted_constants(self):
+        assert parse_term("'x1'") == Constant("x1")
+        assert parse_term('"hello"') == Constant("hello")
+
+    def test_question_mark_forces_variable(self):
+        assert parse_term("?alice") == Variable("alice")
+
+    def test_custom_variable_prefixes(self):
+        assert parse_term("foo", variable_prefixes=frozenset("f")) == Variable("foo")
+        assert parse_term("x", variable_prefixes=frozenset("f")) == Constant("x")
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_term("")
+        with pytest.raises(ParseError):
+            parse_term("?")
+        with pytest.raises(ParseError):
+            parse_term("x-y")
+
+
+class TestParseAtom:
+    def test_plain_atom(self):
+        atom, multiplicity = parse_atom("R(x, a)")
+        assert atom == Atom("R", (Variable("x"), Constant("a")))
+        assert multiplicity == 1
+
+    def test_multiplicity_superscript(self):
+        atom, multiplicity = parse_atom("R^3(x, y)")
+        assert multiplicity == 3
+        assert atom.relation == "R"
+
+    def test_nullary_atom(self):
+        atom, multiplicity = parse_atom("Flag()")
+        assert atom == Atom("Flag", ())
+        assert multiplicity == 1
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+        with pytest.raises(ParseError):
+            parse_atom("R x, y)")
+
+
+class TestParseCq:
+    def test_paper_example(self):
+        query = parse_cq("q(x1, x2) <- R^2(x1, y1), R(x1, y2), P^2(y2, y3), P(x2, y4)")
+        assert query.name == "q"
+        assert query.head == (Variable("x1"), Variable("x2"))
+        assert query.multiplicity(Atom("R", (Variable("x1"), Variable("y1")))) == 2
+        assert query.degree() == 6
+
+    def test_repeated_atoms_accumulate(self):
+        query = parse_cq("q(x) <- R(x, x), R(x, x), R^2(x, x)")
+        assert query.multiplicity(Atom("R", (Variable("x"), Variable("x")))) == 4
+
+    def test_prolog_style_arrow(self):
+        query = parse_cq("q(x) :- R(x, a)")
+        assert query.multiplicity(Atom("R", (Variable("x"), Constant("a")))) == 1
+
+    def test_constants_in_body(self):
+        query = parse_cq("q(x1) <- R(x1, c1), R(c2, x1)")
+        assert Constant("c1") in query.active_domain()
+        assert Constant("c2") in query.active_domain()
+
+    def test_boolean_query(self):
+        query = parse_cq("q() <- R(a, b)")
+        assert query.is_boolean()
+        assert query.is_ground()
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) R(x, y)")
+
+    def test_head_must_use_variables(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(a) <- R(a, a)")
+
+    def test_empty_body(self):
+        with pytest.raises(ParseError):
+            parse_cq("q(x) <- ")
+
+    def test_round_trip_with_str(self):
+        query = parse_cq("q(x1, x2) <- R^2(x1, y1), P(x2, y1)")
+        assert parse_cq(str(query)) == query
+
+
+class TestParseUcq:
+    def test_newline_separated_rules(self):
+        ucq = parse_ucq("q(x) <- R(x, y)\nq(x) <- S(x)")
+        assert len(ucq) == 2
+        assert ucq.arity == 1
+
+    def test_semicolon_separated_rules(self):
+        ucq = parse_ucq("q(x) <- R(x, y); q(x) <- S(x)")
+        assert len(ucq) == 2
+
+    def test_list_of_rules(self):
+        ucq = parse_ucq(["q(x) <- R(x, y)", "q(x) <- S(x)"])
+        assert len(ucq) == 2
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_ucq("")
+
+    def test_mismatched_arities_are_rejected(self):
+        with pytest.raises(Exception):
+            parse_ucq("q(x) <- R(x, y); q(x, y) <- R(x, y)")

@@ -1,0 +1,57 @@
+"""Unit tests for unions of conjunctive queries."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.atoms import Atom
+from repro.relational.terms import Variable
+
+x, y = Variable("x"), Variable("y")
+edge = ConjunctiveQuery((x,), [Atom("R", (x, y))], name="edge")
+loop = ConjunctiveQuery((x,), [Atom("R", (x, x))], name="loop")
+binary = ConjunctiveQuery((x, y), [Atom("R", (x, y))], name="binary")
+
+
+class TestConstruction:
+    def test_requires_at_least_one_disjunct(self):
+        with pytest.raises(QueryError):
+            UnionOfConjunctiveQueries([])
+
+    def test_requires_uniform_arity(self):
+        with pytest.raises(QueryError):
+            UnionOfConjunctiveQueries([edge, binary])
+
+    def test_of_constructor(self):
+        ucq = UnionOfConjunctiveQueries.of(edge, loop, name="u")
+        assert ucq.name == "u"
+        assert len(ucq) == 2
+
+    def test_duplicated_disjuncts_are_kept(self):
+        ucq = UnionOfConjunctiveQueries([edge, edge])
+        assert len(ucq) == 2
+
+
+class TestStructure:
+    def test_arity(self):
+        assert UnionOfConjunctiveQueries([edge, loop]).arity == 1
+
+    def test_variables_and_relations(self):
+        ucq = UnionOfConjunctiveQueries([edge, loop])
+        assert ucq.variables() == frozenset({x, y})
+        assert ucq.relation_names() == frozenset({"R"})
+
+    def test_schema(self):
+        assert UnionOfConjunctiveQueries([edge]).schema().arity_of("R") == 2
+
+    def test_projection_free_detection(self):
+        assert UnionOfConjunctiveQueries([loop]).is_projection_free()
+        assert not UnionOfConjunctiveQueries([edge]).is_projection_free()
+
+    def test_equality_and_iteration(self):
+        first = UnionOfConjunctiveQueries([edge, loop])
+        second = UnionOfConjunctiveQueries([edge, loop])
+        assert first == second
+        assert list(first) == [edge, loop]
+        assert hash(first) == hash(second)

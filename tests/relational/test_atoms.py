@@ -1,0 +1,80 @@
+"""Unit tests for atoms and relation schemas."""
+
+import pytest
+
+from repro.exceptions import ArityMismatchError, InvalidTermError
+from repro.relational.atoms import Atom, RelationSchema, make_atom
+from repro.relational.terms import CanonicalConstant, Constant, Variable
+
+
+class TestRelationSchema:
+    def test_callable_builds_atoms(self):
+        R = RelationSchema("R", 2)
+        atom = R(Variable("x"), Constant("a"))
+        assert atom == Atom("R", (Variable("x"), Constant("a")))
+
+    def test_rejects_negative_arity(self):
+        with pytest.raises(ArityMismatchError):
+            RelationSchema("R", -1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(InvalidTermError):
+            RelationSchema("", 1)
+
+    def test_str(self):
+        assert str(RelationSchema("Edge", 2)) == "Edge/2"
+
+
+class TestAtom:
+    def test_equality_is_structural(self):
+        assert Atom("R", (Variable("x"),)) == Atom("R", (Variable("x"),))
+        assert Atom("R", (Variable("x"),)) != Atom("R", (Variable("y"),))
+        assert Atom("R", (Variable("x"),)) != Atom("S", (Variable("x"),))
+
+    def test_arity_and_schema(self):
+        atom = Atom("R", (Variable("x"), Constant("a")))
+        assert atom.arity == 2
+        assert atom.schema == RelationSchema("R", 2)
+
+    def test_is_ground(self):
+        assert Atom("R", (Constant("a"), CanonicalConstant("x"))).is_ground
+        assert not Atom("R", (Constant("a"), Variable("x"))).is_ground
+
+    def test_zero_arity_atom_is_ground(self):
+        assert Atom("True", ()).is_ground
+
+    def test_variables_and_constants(self):
+        atom = Atom("R", (Variable("x"), Constant("a"), CanonicalConstant("y")))
+        assert atom.variables() == frozenset({Variable("x")})
+        assert atom.constants() == frozenset({Constant("a"), CanonicalConstant("y")})
+        assert atom.language_constants() == frozenset({Constant("a")})
+        assert atom.canonical_constants() == frozenset({CanonicalConstant("y")})
+
+    def test_rejects_non_term_arguments(self):
+        with pytest.raises(InvalidTermError):
+            Atom("R", ("x",))  # type: ignore[arg-type]
+
+    def test_rejects_empty_relation_name(self):
+        with pytest.raises(InvalidTermError):
+            Atom("", (Variable("x"),))
+
+    def test_iteration_and_len(self):
+        atom = Atom("R", (Variable("x"), Variable("y")))
+        assert list(atom) == [Variable("x"), Variable("y")]
+        assert len(atom) == 2
+
+    def test_str(self):
+        assert str(Atom("R", (Variable("x"), Constant("a")))) == "R(x, a)"
+
+    def test_is_hashable(self):
+        assert len({Atom("R", (Variable("x"),)), Atom("R", (Variable("x"),))}) == 1
+
+
+class TestMakeAtom:
+    def test_wraps_raw_values_as_constants(self):
+        atom = make_atom("R", ["a", 1])
+        assert atom == Atom("R", (Constant("a"), Constant(1)))
+
+    def test_keeps_existing_terms(self):
+        atom = make_atom("R", [Variable("x"), Constant("a")])
+        assert atom == Atom("R", (Variable("x"), Constant("a")))

@@ -1,0 +1,89 @@
+"""Unit tests for database schemas."""
+
+import pytest
+
+from repro.exceptions import ArityMismatchError, RelationalError
+from repro.relational.atoms import Atom, RelationSchema
+from repro.relational.schema import DatabaseSchema
+from repro.relational.terms import Constant, Variable
+
+
+class TestConstruction:
+    def test_from_arities(self):
+        schema = DatabaseSchema.from_arities({"R": 2, "S": 1})
+        assert schema.arity_of("R") == 2
+        assert schema.arity_of("S") == 1
+        assert schema.relation_names() == ("R", "S")
+
+    def test_from_atoms_infers_arities(self):
+        schema = DatabaseSchema.from_atoms(
+            [Atom("R", (Variable("x"), Variable("y"))), Atom("S", (Constant("a"),))]
+        )
+        assert schema.arity_of("R") == 2
+        assert schema.arity_of("S") == 1
+
+    def test_conflicting_arities_are_rejected(self):
+        with pytest.raises(ArityMismatchError):
+            DatabaseSchema([RelationSchema("R", 1), RelationSchema("R", 2)])
+
+    def test_duplicate_consistent_declarations_are_merged(self):
+        schema = DatabaseSchema([RelationSchema("R", 2), RelationSchema("R", 2)])
+        assert len(schema) == 1
+
+    def test_rejects_non_relation_schema_items(self):
+        with pytest.raises(RelationalError):
+            DatabaseSchema(["R"])  # type: ignore[list-item]
+
+    def test_union(self):
+        left = DatabaseSchema.from_arities({"R": 2})
+        right = DatabaseSchema.from_arities({"S": 1})
+        union = left.union(right)
+        assert set(union.relation_names()) == {"R", "S"}
+
+    def test_union_with_conflicting_arities_fails(self):
+        left = DatabaseSchema.from_arities({"R": 2})
+        right = DatabaseSchema.from_arities({"R": 3})
+        with pytest.raises(ArityMismatchError):
+            left.union(right)
+
+
+class TestValidation:
+    def test_validate_atom_accepts_declared_relations(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        schema.validate_atom(Atom("R", (Variable("x"), Variable("y"))))
+
+    def test_validate_atom_rejects_unknown_relation(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(RelationalError):
+            schema.validate_atom(Atom("S", (Variable("x"),)))
+
+    def test_validate_atom_rejects_wrong_arity(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        with pytest.raises(ArityMismatchError):
+            schema.validate_atom(Atom("R", (Variable("x"),)))
+
+    def test_is_compatible_with(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        good = [Atom("R", (Variable("x"), Variable("y")))]
+        bad = [Atom("R", (Variable("x"),))]
+        assert schema.is_compatible_with(good)
+        assert not schema.is_compatible_with(bad)
+
+
+class TestContainerProtocol:
+    def test_contains_by_name_and_by_schema(self):
+        schema = DatabaseSchema.from_arities({"R": 2})
+        assert "R" in schema
+        assert RelationSchema("R", 2) in schema
+        assert RelationSchema("R", 3) not in schema
+        assert "S" not in schema
+
+    def test_equality_and_hash(self):
+        first = DatabaseSchema.from_arities({"R": 2, "S": 1})
+        second = DatabaseSchema.from_arities({"S": 1, "R": 2})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_iteration_is_sorted_by_name(self):
+        schema = DatabaseSchema.from_arities({"Z": 1, "A": 2})
+        assert [relation.name for relation in schema] == ["A", "Z"]

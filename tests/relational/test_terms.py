@@ -1,0 +1,109 @@
+"""Unit tests for terms: variables, constants and canonical constants."""
+
+import pytest
+
+from repro.exceptions import InvalidTermError
+from repro.relational.terms import (
+    CanonicalConstant,
+    Constant,
+    Variable,
+    canonical,
+    decanonical,
+    is_constant_like,
+    is_term,
+    make_constants,
+    make_variables,
+)
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_is_hashable_and_usable_as_key(self):
+        mapping = {Variable("x"): 1}
+        assert mapping[Variable("x")] == 1
+
+    def test_ordering_is_by_name(self):
+        assert Variable("a") < Variable("b")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(InvalidTermError):
+            Variable("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(InvalidTermError):
+            Variable(42)  # type: ignore[arg-type]
+
+    def test_str_is_the_name(self):
+        assert str(Variable("x7")) == "x7"
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_integer_values_are_allowed(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+    def test_rejects_unhashable_values(self):
+        with pytest.raises(InvalidTermError):
+            Constant([1, 2])
+
+    def test_is_distinct_from_variable_with_same_name(self):
+        assert Constant("x") != Variable("x")
+
+
+class TestCanonicalConstant:
+    def test_round_trip_with_canonical_and_decanonical(self):
+        x = Variable("x")
+        assert decanonical(canonical(x)) == x
+
+    def test_is_distinct_from_language_constant(self):
+        assert CanonicalConstant("c1") != Constant("c1")
+
+    def test_is_distinct_from_its_variable(self):
+        assert CanonicalConstant("x") != Variable("x")
+
+    def test_variable_property(self):
+        assert CanonicalConstant("y3").variable == Variable("y3")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(InvalidTermError):
+            CanonicalConstant("")
+
+    def test_canonical_rejects_non_variable(self):
+        with pytest.raises(InvalidTermError):
+            canonical(Constant("a"))  # type: ignore[arg-type]
+
+    def test_decanonical_rejects_non_canonical(self):
+        with pytest.raises(InvalidTermError):
+            decanonical(Constant("a"))  # type: ignore[arg-type]
+
+    def test_str_uses_hat_prefix(self):
+        assert str(CanonicalConstant("x1")) == "^x1"
+
+
+class TestPredicates:
+    def test_is_term(self):
+        assert is_term(Variable("x"))
+        assert is_term(Constant("a"))
+        assert is_term(CanonicalConstant("x"))
+        assert not is_term("x")
+        assert not is_term(None)
+
+    def test_is_constant_like(self):
+        assert is_constant_like(Constant("a"))
+        assert is_constant_like(CanonicalConstant("x"))
+        assert not is_constant_like(Variable("x"))
+
+
+class TestFactories:
+    def test_make_variables(self):
+        assert make_variables("x", "y") == (Variable("x"), Variable("y"))
+
+    def test_make_constants(self):
+        assert make_constants("a", 1) == (Constant("a"), Constant(1))

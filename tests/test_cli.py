@@ -1,0 +1,118 @@
+"""Tests for the ``bagcq`` command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDecide:
+    def test_positive_containment_exits_zero(self, capsys):
+        code = main(
+            [
+                "decide",
+                "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)",
+                "q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "⊑b" in captured.out
+
+    def test_negative_containment_exits_one_and_prints_a_counterexample(self, capsys):
+        code = main(
+            [
+                "decide",
+                "q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)",
+                "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "counterexample" in captured.out
+
+    def test_verbose_prints_the_encoding(self, capsys):
+        code = main(
+            [
+                "decide",
+                "--verbose",
+                "q1(x) <- R(x, x)",
+                "q2(x) <- R(x, x), R(x, y)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "monomial" in captured.out
+
+    def test_alternative_strategy(self, capsys):
+        code = main(
+            [
+                "decide",
+                "--strategy",
+                "all-probes",
+                "q1(x) <- R(x, x)",
+                "q2(x) <- R(x, x)",
+            ]
+        )
+        assert code == 0
+        assert "all-probes" in capsys.readouterr().out
+
+    def test_projection_in_the_containee_is_a_clean_error(self, capsys):
+        code = main(["decide", "q1(x) <- R(x, y)", "q2(x) <- R(x, x)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error" in captured.err
+
+
+class TestOtherCommands:
+    def test_set_decide(self, capsys):
+        code = main(["set-decide", "q1(x) <- R(x, x)", "q2(x) <- R(x, y)"])
+        assert code == 0
+        assert "⊑s" in capsys.readouterr().out
+
+    def test_evaluate(self, capsys):
+        code = main(["evaluate", "q(x) <- R(x, y)", "R(a,b)=2", "R(a,c)=3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "(a)^5" in captured.out
+
+    def test_evaluate_rejects_non_ground_facts(self, capsys):
+        code = main(["evaluate", "q(x) <- R(x, y)", "R(a,x)=2"])
+        assert code == 2
+
+    def test_evaluate_rejects_bad_multiplicities(self, capsys):
+        code = main(["evaluate", "q(x) <- R(x, y)", "R(a,b)=lots"])
+        assert code == 2
+
+    def test_encode(self, capsys):
+        code = main(
+            [
+                "encode",
+                "q1(x1, x2) <- R^2(x1, x2), R(c1, x2), R^3(x1, c2)",
+                "q2(x1, x2) <- R^3(x1, x2), R^2(x1, y1), R^2(y2, y1)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "monomial" in captured.out and "polynomial" in captured.out
+
+    def test_compare_equivalent_queries_exits_zero(self, capsys):
+        code = main(["compare", "q(x) <- R(x, x), S(x)", "p(x) <- S(x), R(x, x)"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "bag-equivalent" in captured.out
+
+    def test_compare_non_equivalent_queries_exits_one(self, capsys):
+        code = main(
+            [
+                "compare",
+                "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)",
+                "q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "bag-contained" in captured.out
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion and prints its key results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["(c1, c2)^10", "(c1, c5)^30", "bag containment fails"],
+    "query_optimization.py": ["set-equivalent?       True", "bag-equivalent to the original? True"],
+    "view_selection.py": ["EXACT", "candidate v_orders_only"],
+    "three_colorability.py": ["clique K4", "agrees"],
+    "diophantine_explorer.py": ["is (1, 4, 3) a solution? True", "is the MPI solvable? True"],
+}
+
+
+@pytest.mark.parametrize("script_name", sorted(EXPECTED_OUTPUT))
+def test_example_runs_and_prints_expected_output(script_name):
+    script = EXAMPLES_DIR / script_name
+    assert script.exists(), f"missing example {script_name}"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for expected in EXPECTED_OUTPUT[script_name]:
+        assert expected in completed.stdout, (
+            f"{script_name} output missing {expected!r}:\n{completed.stdout}"
+        )
+
+
+def test_every_example_is_covered_by_this_smoke_test():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

@@ -1,0 +1,43 @@
+"""Tests for the top-level public API surface.
+
+A downstream user should be able to work entirely from ``import repro``;
+these tests pin the names the README and the examples rely on, and run the
+README quickstart end to end.
+"""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_quickstart(self):
+        q1 = repro.parse_cq("q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)")
+        q2 = repro.parse_cq("q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)")
+        assert repro.decide_bag_containment(q1, q2).contained
+        result = repro.decide_bag_containment(q2, q1)
+        assert not result.contained
+        assert result.counterexample is not None
+        assert "multiplicity" in result.counterexample.describe()
+
+        a, b = repro.Constant("a"), repro.Constant("b")
+        bag = repro.BagInstance({repro.Atom("R", (a, b)): 2, repro.Atom("P", (b, b)): 1})
+        assert repro.evaluate_bag(q1, bag)[(a, b)] == 4
+
+    def test_compare_is_exposed(self):
+        q1 = repro.parse_cq("q(x) <- R(x, x)")
+        spectrum = repro.compare(q1, q1.with_name("copy"))
+        assert spectrum.relationship is repro.Relationship.EQUIVALENT
+
+    def test_core_helpers_are_exposed(self):
+        query = repro.parse_cq("q(x1) <- R(x1, c1)")
+        assert len(repro.probe_tuples(query)) == 2
+        assert len(repro.most_general_probe_tuple(query)) == 1
+        encoding = repro.encode_most_general(query, query.with_name("copy"))
+        assert encoding.dimension == 1

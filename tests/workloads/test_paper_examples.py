@@ -1,0 +1,57 @@
+"""Tests asserting the paper-example fixtures have the documented shapes."""
+
+from repro.workloads.paper_examples import (
+    section2_bag,
+    section2_expected_answers,
+    section2_instance,
+    section2_q1,
+    section2_q2,
+    section2_q3,
+    section2_query,
+    section3_containee,
+    section3_containing,
+    section3_probe_example_query,
+    section4_mpi_solutions,
+)
+
+
+class TestSection2Fixtures:
+    def test_query_shape(self):
+        query = section2_query()
+        assert query.arity == 2
+        assert query.degree() == 6
+        assert len(query.body_atoms()) == 4
+        assert not query.is_projection_free()
+
+    def test_instance_and_bag_are_consistent(self):
+        assert section2_bag().support() == section2_instance()
+        assert section2_bag().total_multiplicity() == 7
+
+    def test_expected_answers(self):
+        assert set(section2_expected_answers().values()) == {10, 30}
+
+    def test_q1_q2_q3_shapes(self):
+        assert section2_q1().is_projection_free()
+        assert section2_q2().is_projection_free()
+        assert not section2_q3().is_projection_free()
+        assert section2_q1().degree() == 5
+        assert section2_q2().degree() == 6
+        assert section2_q3() == section2_query()
+
+
+class TestSection3And4Fixtures:
+    def test_probe_example_query(self):
+        query = section3_probe_example_query()
+        assert query.arity == 2
+        assert len(query.body_atoms()) == 3
+        assert len(query.language_constants()) == 2
+
+    def test_containee_and_containing(self):
+        containee, containing = section3_containee(), section3_containing()
+        assert containee.is_projection_free()
+        assert containee.degree() == 6
+        assert not containing.is_projection_free()
+        assert containing.degree() == 7
+
+    def test_mpi_solutions_are_the_paper_values(self):
+        assert section4_mpi_solutions() == ((1, 4, 3), (1, 9, 3))

@@ -1,0 +1,81 @@
+"""Unit tests for the random query generators."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.random_queries import (
+    RandomQueryConfig,
+    random_containment_pair,
+    random_projection_free_query,
+    random_query,
+    random_schema,
+    random_unrelated_pair,
+)
+import random
+
+
+class TestConfig:
+    def test_invalid_configurations_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            RandomQueryConfig(num_relations=0)
+        with pytest.raises(WorkloadError):
+            RandomQueryConfig(max_multiplicity=0)
+        with pytest.raises(WorkloadError):
+            RandomQueryConfig(head_size=10, num_variables=2)
+
+
+class TestRandomQuery:
+    def test_is_deterministic_for_a_fixed_seed(self):
+        config = RandomQueryConfig()
+        assert random_query(config, seed=5) == random_query(config, seed=5)
+
+    def test_different_seeds_usually_differ(self):
+        config = RandomQueryConfig(num_atoms=5, num_variables=5)
+        queries = {random_query(config, seed=seed) for seed in range(10)}
+        assert len(queries) > 1
+
+    def test_respects_the_schema(self):
+        config = RandomQueryConfig(num_relations=2, max_arity=3)
+        rng = random.Random(0)
+        schema = random_schema(config, rng)
+        query = random_query(config, seed=1, schema=schema)
+        for atom in query.body_atoms():
+            schema.validate_atom(atom)
+
+    def test_queries_are_always_safe(self):
+        for seed in range(20):
+            query = random_query(RandomQueryConfig(head_size=2, num_variables=4), seed=seed)
+            assert query.head_variables() <= {
+                variable for atom in query.body_atoms() for variable in atom.variables()
+            }
+
+    def test_projection_free_generator(self):
+        for seed in range(20):
+            query = random_projection_free_query(seed=seed)
+            assert query.is_projection_free()
+
+    def test_multiplicities_respect_the_bound(self):
+        config = RandomQueryConfig(max_multiplicity=3, num_atoms=6)
+        for seed in range(10):
+            query = random_query(config, seed=seed)
+            # An atom drawn twice can exceed the per-draw bound, but the total
+            # degree is bounded by (num_atoms + head_size) * max_multiplicity.
+            assert query.degree() <= (config.num_atoms + config.head_size) * config.max_multiplicity
+
+
+class TestPairGenerators:
+    def test_containment_pairs_have_projection_free_containees(self):
+        for seed in range(15):
+            containee, containing = random_containment_pair(seed)
+            assert containee.is_projection_free()
+            assert containee.arity == containing.arity
+
+    def test_containment_pairs_are_deterministic(self):
+        assert random_containment_pair(3) == random_containment_pair(3)
+
+    def test_unrelated_pairs_are_well_formed(self):
+        for seed in range(15):
+            containee, containing = random_unrelated_pair(seed)
+            assert containee.is_projection_free()
+            assert len(containee.body_atoms()) >= 1
+            assert len(containing.body_atoms()) >= 1

@@ -1,0 +1,69 @@
+"""Unit tests for the structured query families."""
+
+import pytest
+
+from repro.core.decision import is_bag_contained
+from repro.exceptions import WorkloadError
+from repro.workloads.structured import (
+    amplified_query,
+    chain_containment_pair,
+    chain_query,
+    cycle_query,
+    projection_free_chain,
+    projection_free_star,
+    star_containment_pair,
+    star_query,
+)
+
+
+class TestFamilies:
+    def test_projection_free_chain_shape(self):
+        chain = projection_free_chain(4)
+        assert chain.arity == 5
+        assert len(chain.body_atoms()) == 4
+        assert chain.is_projection_free()
+
+    def test_chain_query_with_existential_middle(self):
+        chain = chain_query(3)
+        assert chain.arity == 2
+        assert len(chain.existential_variables()) == 2
+
+    def test_star_shapes(self):
+        star = projection_free_star(3, multiplicity=2)
+        assert star.arity == 4
+        assert star.degree() == 6
+        assert star_query(3).arity == 1
+
+    def test_cycle_shapes(self):
+        cycle = cycle_query(4)
+        assert cycle.arity == 4
+        assert len(cycle.body_atoms()) == 4
+        assert cycle_query(3, projection_free=False).arity == 1
+
+    def test_size_validation(self):
+        with pytest.raises(WorkloadError):
+            projection_free_chain(0)
+        with pytest.raises(WorkloadError):
+            projection_free_star(0)
+        with pytest.raises(WorkloadError):
+            cycle_query(1)
+        with pytest.raises(WorkloadError):
+            amplified_query(projection_free_chain(1), 0)
+
+
+class TestKnownContainments:
+    def test_amplification_preserves_self_containment(self):
+        for length in (1, 2, 3):
+            chain = projection_free_chain(length)
+            assert is_bag_contained(chain, amplified_query(chain, 2))
+            assert not is_bag_contained(amplified_query(chain, 2), chain)
+
+    def test_chain_containment_pairs_are_positive_instances(self):
+        for length in (1, 2, 3):
+            containee, containing = chain_containment_pair(length)
+            assert is_bag_contained(containee, containing)
+
+    def test_star_containment_pairs_are_positive_instances(self):
+        for rays in (1, 2, 3):
+            containee, containing = star_containment_pair(rays)
+            assert is_bag_contained(containee, containing)
