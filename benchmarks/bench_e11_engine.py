@@ -1,0 +1,189 @@
+"""E11 — engine A/B: the compiled indexed backend vs the naive reference shim.
+
+The engine refactor claims that compiling a ``(source, target, fixed)``
+triple once — static fail-first join order, signature-keyed candidate
+indexes, iterative trail-based execution — beats the naive recursive
+backtracker, which re-indexes the target and re-counts candidates for every
+remaining atom at every search node.  This experiment A/Bs the two backends
+on the workloads the decision procedures actually run:
+
+* the E7 *containee-scaling* family (chain containment mappings): the
+  hom-search cost grows with the containee length, and the indexed backend
+  must be **at least 3× faster** — this is the headline acceptance
+  assertion, with an order of magnitude of margin in practice;
+* the E7 *containing-scaling* family (star queries, ``rays^rays``
+  containment mappings): enumeration-bound, so the win is a constant
+  factor — asserted modest;
+* the E1 bag-evaluation scaling workload (Section 2 instance, scaled).
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_e11_engine.py``)
+for the comparison table, or through pytest with the bench collection
+options used by the other experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.probe_tuples import most_general_probe_tuple
+from repro.engine import use_backend
+from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.evaluation.homomorphisms import containment_mappings_to_ground
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.instances import BagInstance
+from repro.relational.terms import Constant
+from repro.workloads.paper_examples import section2_query
+from repro.workloads.structured import chain_containment_pair, star_containment_pair
+
+#: Minimum indexed-over-naive speedup on the E7 chain (decider-scaling) workload.
+REQUIRED_E7_SPEEDUP = 3.0
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Minimum wall-clock over *repeats* runs (the usual noise-robust timer)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _ab(fn: Callable[[], object], repeats: int = 5) -> tuple[float, float]:
+    """(naive seconds, indexed seconds) for one workload closure."""
+    with use_backend("naive"):
+        naive = _best_of(fn, repeats)
+    with use_backend("indexed"):
+        fn()  # warm the plan cache once; steady-state is what the engine sells
+        indexed = _best_of(fn, repeats)
+    return naive, indexed
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+def chain_mapping_workload(length: int) -> Callable[[], int]:
+    """E7 containee scaling: containment mappings into a grounded chain."""
+    containee, containing = chain_containment_pair(length)
+    probe = most_general_probe_tuple(containee)
+    grounded = containee.ground(probe)
+
+    def run() -> int:
+        return sum(1 for _ in containment_mappings_to_ground(containing, grounded, probe))
+
+    return run
+
+
+def star_mapping_workload(rays: int) -> Callable[[], int]:
+    """E7 containing scaling: ``rays^rays`` containment mappings into a star."""
+    containee, containing = star_containment_pair(rays)
+    probe = most_general_probe_tuple(containee)
+    grounded = containee.ground(probe)
+
+    def run() -> int:
+        return sum(1 for _ in containment_mappings_to_ground(containing, grounded, probe))
+
+    return run
+
+
+def scaled_section2_bag(copies: int, multiplicity: int = 1) -> BagInstance:
+    """Disjoint copies of the Section 2 running instance (as in bench E1)."""
+    counts: dict[Atom, int] = {}
+    for copy in range(copies):
+        c = {i: Constant(f"c{i}_{copy}") for i in range(1, 6)}
+        counts[Atom("R", (c[1], c[2]))] = 2 * multiplicity
+        counts[Atom("R", (c[1], c[3]))] = multiplicity
+        counts[Atom("P", (c[2], c[4]))] = multiplicity
+        counts[Atom("P", (c[5], c[4]))] = 3 * multiplicity
+    return BagInstance(counts)
+
+
+def evaluation_workload(copies: int) -> Callable[[], object]:
+    """E1 scaling: bag evaluation of the running query on a scaled instance."""
+    query: ConjunctiveQuery = section2_query()
+    bag = scaled_section2_bag(copies)
+    return lambda: evaluate_bag(query, bag)
+
+
+# --------------------------------------------------------------------- #
+# Benchmarks (collected with the bench_* options, also runnable directly)
+# --------------------------------------------------------------------- #
+def bench_e11_e7_chain_speedup():
+    """Headline assertion: ≥ 3× on the E7 decider-scaling chain family."""
+    speedups = []
+    for length in (8, 16, 24):
+        workload = chain_mapping_workload(length)
+        naive, indexed = _ab(workload)
+        speedups.append(naive / indexed)
+    worst = min(speedups)
+    assert worst >= REQUIRED_E7_SPEEDUP, (
+        f"indexed backend only {worst:.1f}x faster than the naive shim on the "
+        f"E7 chain workload (required {REQUIRED_E7_SPEEDUP}x); speedups={speedups}"
+    )
+    return speedups
+
+
+def bench_e11_e7_star_speedup():
+    """Enumeration-bound star family: the win is a constant factor."""
+    workload = star_mapping_workload(4)
+    naive, indexed = _ab(workload)
+    assert indexed < naive, "indexed backend should not be slower on the star family"
+    return naive / indexed
+
+
+def bench_e11_e1_evaluation_speedup():
+    """Bag evaluation on the scaled Section 2 instance (bench E1's sweep)."""
+    workload = evaluation_workload(12)
+    naive, indexed = _ab(workload, repeats=3)
+    assert naive / indexed >= 1.5, (
+        f"indexed backend only {naive / indexed:.1f}x faster on E1 evaluation"
+    )
+    return naive / indexed
+
+
+def bench_e11_backends_agree():
+    """Smoke cross-check: both backends report identical counts/answers."""
+    for length in (4, 8):
+        workload = chain_mapping_workload(length)
+        with use_backend("naive"):
+            expected = workload()
+        with use_backend("indexed"):
+            assert workload() == expected
+    query = section2_query()
+    bag = scaled_section2_bag(2)
+    with use_backend("naive"):
+        expected_answers = evaluate_bag(query, bag)
+    with use_backend("indexed"):
+        assert evaluate_bag(query, bag) == expected_answers
+
+
+def main() -> None:
+    rows: list[tuple[str, float, float]] = []
+    for name, workload in [
+        ("E7 chain len=8", chain_mapping_workload(8)),
+        ("E7 chain len=16", chain_mapping_workload(16)),
+        ("E7 chain len=24", chain_mapping_workload(24)),
+        ("E7 star rays=4", star_mapping_workload(4)),
+        ("E7 star rays=5", star_mapping_workload(5)),
+        ("E1 eval copies=8", evaluation_workload(8)),
+        ("E1 eval copies=16", evaluation_workload(16)),
+    ]:
+        naive, indexed = _ab(workload, repeats=3)
+        rows.append((name, naive, indexed))
+
+    print(f"{'workload':<20} {'naive':>10} {'indexed':>10} {'speedup':>8}")
+    for name, naive, indexed in rows:
+        print(f"{name:<20} {naive * 1e3:>8.2f}ms {indexed * 1e3:>8.2f}ms {naive / indexed:>7.1f}x")
+
+    bench_e11_backends_agree()
+    chain_speedups = bench_e11_e7_chain_speedup()
+    print(
+        f"\nE7 chain family speedups: {', '.join(f'{s:.1f}x' for s in chain_speedups)} "
+        f"(required ≥ {REQUIRED_E7_SPEEDUP}x) — OK"
+    )
+
+
+if __name__ == "__main__":
+    main()

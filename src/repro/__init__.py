@@ -55,6 +55,19 @@ from repro.diophantine import (
     Polynomial,
     decide_mpi,
 )
+from repro.engine import (
+    BagBatchEvaluator,
+    EngineCache,
+    MatchPlan,
+    compile_plan,
+    containment_mappings_many,
+    count_many,
+    default_cache,
+    evaluate_bag_many,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.evaluation import (
     AnswerBag,
     evaluate_bag,
@@ -84,6 +97,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerBag",
     "Atom",
+    "BagBatchEvaluator",
     "BagContainmentResult",
     "BagInstance",
     "ConjunctiveQuery",
@@ -91,6 +105,8 @@ __all__ = [
     "ContainmentCounterexample",
     "ContainmentSpectrum",
     "DatabaseSchema",
+    "EngineCache",
+    "MatchPlan",
     "Monomial",
     "MonomialPolynomialInequality",
     "MpiEncoding",
@@ -107,17 +123,23 @@ __all__ = [
     "are_set_equivalent",
     "bounded_bag_refuter",
     "compare",
+    "compile_plan",
+    "containment_mappings_many",
     "core",
+    "count_many",
     "cross_check",
     "decide_bag_containment",
     "decide_bag_set_containment",
     "decide_mpi",
     "decide_set_containment",
+    "default_cache",
     "encode",
     "encode_most_general",
     "evaluate_bag",
+    "evaluate_bag_many",
     "evaluate_bag_set",
     "evaluate_set",
+    "get_backend",
     "is_bag_contained",
     "is_set_contained",
     "most_general_probe_tuple",
@@ -125,6 +147,8 @@ __all__ = [
     "parse_ucq",
     "probe_tuples",
     "random_bag_refuter",
+    "set_default_backend",
     "three_colorability_instance",
+    "use_backend",
     "__version__",
 ]

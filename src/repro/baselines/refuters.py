@@ -11,6 +11,13 @@ containee.  These refuters are
 * **incomplete**: failing to find a violation within the multiplicity bound
   or the trial budget proves nothing — which is exactly the gap the paper's
   exact procedure closes, and what experiment E9 quantifies.
+
+Every candidate bag shares the same support (the canonical instance of the
+grounded containee), so the homomorphisms of both queries are enumerated
+exactly once per probe tuple through the engine's
+:class:`~repro.engine.batch.BagBatchEvaluator`; each bag then only
+re-weights the cached contribution skeletons of Equation 2 instead of
+re-running the search.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import Iterator, Sequence
 
 from repro.core.certificates import ContainmentCounterexample
 from repro.core.probe_tuples import iter_probe_tuples, most_general_probe_tuple
+from repro.engine import BagBatchEvaluator
 from repro.evaluation.bag_evaluation import bag_multiplicity
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.instances import BagInstance
@@ -80,6 +88,40 @@ def _bags_over(atoms: Sequence, max_multiplicity: int, include_zero: bool) -> It
         yield BagInstance({atom: value for atom, value in zip(atoms, values)})
 
 
+class _ProbeChecker:
+    """Per-probe violation check with the homomorphism search hoisted out.
+
+    Both queries are compiled and enumerated once against the support of the
+    grounded containee; checking a candidate bag is then a pure
+    re-weighting of the cached skeletons (no search, no substitutions).
+    """
+
+    __slots__ = ("probe", "_left", "_right")
+
+    def __init__(
+        self,
+        containee: ConjunctiveQuery,
+        containing: ConjunctiveQuery,
+        probe: tuple[Term, ...],
+        support_atoms: Sequence,
+    ) -> None:
+        self.probe = probe
+        self._left = BagBatchEvaluator(containee, support_atoms, answer=probe)
+        self._right = BagBatchEvaluator(containing, support_atoms, answer=probe)
+
+    def check(self, bag: BagInstance) -> ContainmentCounterexample | None:
+        left = self._left.multiplicity(bag)
+        right = self._right.multiplicity(bag)
+        if left > right:
+            return ContainmentCounterexample(
+                probe=self.probe,
+                bag=bag,
+                containee_multiplicity=left,
+                containing_multiplicity=right,
+            )
+        return None
+
+
 def bounded_bag_refuter(
     containee: ConjunctiveQuery,
     containing: ConjunctiveQuery,
@@ -101,9 +143,10 @@ def bounded_bag_refuter(
     for probe in probes:
         grounded = containee.ground(probe)
         atoms = grounded.body_atoms()
+        checker = _ProbeChecker(containee, containing, tuple(probe), atoms)
         for bag in _bags_over(atoms, max_multiplicity, include_zero):
             bags_checked += 1
-            violation = check_bag(containee, containing, probe, bag)
+            violation = checker.check(bag)
             if violation is not None:
                 return RefutationOutcome(True, bags_checked, violation)
     return RefutationOutcome(False, bags_checked)
@@ -127,9 +170,10 @@ def random_bag_refuter(
     probe = most_general_probe_tuple(containee)
     grounded = containee.ground(probe)
     atoms = grounded.body_atoms()
+    checker = _ProbeChecker(containee, containing, probe, atoms)
     for trial in range(1, trials + 1):
         bag = BagInstance({atom: rng.randint(1, max_multiplicity) for atom in atoms})
-        violation = check_bag(containee, containing, probe, bag)
+        violation = checker.check(bag)
         if violation is not None:
             return RefutationOutcome(True, trial, violation)
     return RefutationOutcome(False, trials)

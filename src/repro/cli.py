@@ -24,6 +24,11 @@ Sub-commands
 
 Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
 e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
+
+Global options select the homomorphism engine backend
+(``--engine-backend {naive,indexed}``; the compiled indexed engine is the
+default) and print the engine cache statistics after the command
+(``--engine-stats``), which is how the benchmarks A/B the two backends.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.containment.set_containment import decide_set_containment
 from repro.core.decision import STRATEGIES, decide_bag_containment
 from repro.core.encoding import encode_most_general
 from repro.core.spectrum import compare
+from repro.engine import BACKEND_NAMES, default_cache, use_backend
 from repro.evaluation.bag_evaluation import evaluate_bag
 from repro.exceptions import CliError, ReproError
 from repro.queries.parser import parse_atom, parse_cq
@@ -50,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bagcq",
         description="Bag containment of projection-free conjunctive queries (PODS 2019 reproduction).",
+    )
+    parser.add_argument(
+        "--engine-backend",
+        choices=BACKEND_NAMES,
+        default="indexed",
+        help="homomorphism engine backend (default: indexed)",
+    )
+    parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        help="print engine cache statistics after the command",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -163,11 +180,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "encode": _run_encode,
         "compare": _run_compare,
     }
+    stats_baseline = default_cache().snapshot() if args.engine_stats else None
     try:
-        return handlers[args.command](args)
+        with use_backend(args.engine_backend):
+            return handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if args.engine_stats:
+            print("engine cache statistics (indexed backend cache, this command only):")
+            if args.engine_backend != "indexed":
+                print(f"  note: this run used the {args.engine_backend} backend, which bypasses the cache")
+            for line in default_cache().describe(since=stats_baseline).splitlines():
+                print(f"  {line}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,12 @@ isomorphism of the queries.  The module exposes:
   from the definition on canonical instances, with the Chandra–Merlin test as
   the fast path, so the two can be cross-checked in tests;
 * :func:`are_bag_set_equivalent` — equivalence via query isomorphism.
+
+Both bottom out in the compiled engine: the Chandra–Merlin check runs in
+``exists`` mode (via :func:`repro.containment.set_containment.is_set_contained`)
+and the canonical-instance cross-checks re-use the engine's cached plans for
+the canonical instances, so the sanity re-evaluation is no longer a second
+full search.
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ computation is still essential as a baseline and for workload analysis.
 
 from __future__ import annotations
 
-from repro.evaluation.homomorphisms import homomorphisms
+from repro.engine import has_homomorphism
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.atoms import Atom
 from repro.relational.terms import Term, Variable
@@ -31,7 +31,7 @@ def _is_endomorphism_avoiding(
     if not target:
         return False
     fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
-    return next(homomorphisms(query.body_atoms(), target, fixed), None) is not None
+    return has_homomorphism(query.body_atoms(), target, fixed)
 
 
 def redundant_atoms(query: ConjunctiveQuery) -> list[Atom]:
@@ -60,8 +60,7 @@ def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
                 break
             candidate_body = [other for other in remaining if other != atom]
             fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
-            fold = next(homomorphisms(remaining, candidate_body, fixed), None)
-            if fold is not None:
+            if has_homomorphism(remaining, candidate_body, fixed):
                 remaining = candidate_body
                 changed = True
     return ConjunctiveQuery(query.head, {atom: 1 for atom in remaining}, name=f"core({query.name})")

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import default_cache, has_homomorphism, query_fingerprint
+from repro.engine.batch import head_fixing
 from repro.evaluation.homomorphisms import containment_mappings
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
@@ -64,8 +66,27 @@ def decide_set_containment(
 
 
 def is_set_contained(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> bool:
-    """Boolean shortcut for :func:`decide_set_containment`."""
-    return decide_set_containment(containee, containing).contained
+    """Boolean shortcut for :func:`decide_set_containment`.
+
+    Unlike the full decision (which materialises a witnessing mapping), this
+    runs the engine in ``exists`` mode and stops at the first containment
+    mapping.  The verdict is memoised under the *canonical* query
+    fingerprints, which is sound — set containment is invariant under
+    independent variable renaming of either query — and lets renamed copies
+    of the same query pair (as the workload generators produce) share one
+    decision.
+    """
+    if containing.arity != containee.arity:
+        return False
+    key = ("set-contained", query_fingerprint(containee), query_fingerprint(containing))
+
+    def decide() -> bool:
+        fixed = head_fixing(containing.head, containee.head)
+        if fixed is None:
+            return False
+        return has_homomorphism(containing.body_atoms(), containee.body_atoms(), fixed)
+
+    return default_cache().result(key, decide)  # type: ignore[return-value]
 
 
 def are_set_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:

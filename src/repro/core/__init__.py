@@ -16,7 +16,7 @@ from repro.core.decision import (
     decide_via_most_general_probe,
     is_bag_contained,
 )
-from repro.core.encoding import MpiEncoding, encode, encode_most_general
+from repro.core.encoding import MpiEncoding, encode, encode_many, encode_most_general
 from repro.core.probe_tuples import (
     canonical_probe_representative,
     is_probe_tuple,
@@ -53,6 +53,7 @@ __all__ = [
     "decide_via_bounded_guess",
     "decide_via_most_general_probe",
     "encode",
+    "encode_many",
     "encode_most_general",
     "graph_query",
     "is_bag_contained",

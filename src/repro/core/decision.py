@@ -35,7 +35,7 @@ from repro.core.certificates import (
     counterexample_from_witness,
     uniform_counterexample,
 )
-from repro.core.encoding import MpiEncoding, encode, encode_most_general
+from repro.core.encoding import MpiEncoding, encode_many, encode_most_general
 from repro.core.probe_tuples import iter_probe_tuples
 from repro.diophantine.bounds import solution_component_bound
 from repro.diophantine.solver import (
@@ -186,8 +186,8 @@ def decide_via_all_probes(
     encodings: list[MpiEncoding] = []
     decisions: list[MpiDecision] = []
 
-    for probe in iter_probe_tuples(containee):
-        encoding = encode(containee, containing, probe)
+    for encoding in encode_many(containee, containing, iter_probe_tuples(containee)):
+        probe = encoding.probe
         encodings.append(encoding)
 
         if not encoding.probe_unifiable_with_containing:
@@ -265,8 +265,8 @@ def decide_via_bounded_guess(
     containee.require_projection_free()
     encodings: list[MpiEncoding] = []
 
-    for probe in iter_probe_tuples(containee):
-        encoding = encode(containee, containing, probe)
+    for encoding in encode_many(containee, containing, iter_probe_tuples(containee)):
+        probe = encoding.probe
         encodings.append(encoding)
 
         if not encoding.probe_unifiable_with_containing:

@@ -24,20 +24,26 @@ query (condition (1) of Theorem 3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.probe_tuples import most_general_probe_tuple
 from repro.diophantine.inequalities import MonomialPolynomialInequality
 from repro.diophantine.monomials import Monomial
 from repro.diophantine.polynomials import Polynomial
-from repro.evaluation.homomorphisms import containment_mappings_to_ground
+from repro.engine import ContainmentMappingBatcher
 from repro.exceptions import ContainmentError, UnificationError
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.atoms import Atom
 from repro.relational.substitutions import Substitution, unify_tuples
 from repro.relational.terms import Term
 
-__all__ = ["MpiEncoding", "encode", "encode_most_general", "unknown_name_for_atom"]
+__all__ = [
+    "MpiEncoding",
+    "encode",
+    "encode_many",
+    "encode_most_general",
+    "unknown_name_for_atom",
+]
 
 
 def unknown_name_for_atom(atom: Atom, index: int) -> str:
@@ -113,19 +119,13 @@ def _image_exponents(
     return tuple(exponents)
 
 
-def encode(
+def _encode_at_probe(
     containee: ConjunctiveQuery,
     containing: ConjunctiveQuery,
-    probe: Sequence[Term],
+    probe_tuple: tuple[Term, ...],
+    batcher: ContainmentMappingBatcher,
 ) -> MpiEncoding:
-    """Build the MPI encoding of ``containee ⊑b containing`` at the probe tuple *probe*.
-
-    The containee must be projection-free (the monomial of Definition 3.2
-    only exists because the grounding homomorphism is unique in that case).
-    """
-    containee.require_projection_free()
-    probe_tuple = tuple(probe)
-
+    """The per-probe encoding body shared by :func:`encode` and :func:`encode_many`."""
     grounded = containee.ground(probe_tuple, name=f"{containee.name}(t)")
     atoms = grounded.body_atoms()
     unknown_names = tuple(unknown_name_for_atom(atom, index) for index, atom in enumerate(atoms))
@@ -138,11 +138,11 @@ def encode(
     except UnificationError:
         unifiable = False
 
-    mappings: list[Substitution] = []
+    mappings: tuple[Substitution, ...] = ()
     image_monomials: list[Monomial] = []
     if unifiable:
-        for mapping in containment_mappings_to_ground(containing, grounded, probe_tuple):
-            mappings.append(mapping)
+        mappings = batcher.mappings(grounded, probe_tuple)
+        for mapping in mappings:
             image = containing.apply_substitution(mapping)
             image_monomials.append(Monomial(1, _image_exponents(image, atoms, containing)))
 
@@ -159,9 +159,49 @@ def encode(
         monomial=monomial,
         polynomial=polynomial,
         inequality=inequality,
-        mappings=tuple(mappings),
+        mappings=mappings,
         probe_unifiable_with_containing=unifiable,
     )
+
+
+def encode(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    probe: Sequence[Term],
+) -> MpiEncoding:
+    """Build the MPI encoding of ``containee ⊑b containing`` at the probe tuple *probe*.
+
+    The containee must be projection-free (the monomial of Definition 3.2
+    only exists because the grounding homomorphism is unique in that case).
+    """
+    containee.require_projection_free()
+    return _encode_at_probe(
+        containee, containing, tuple(probe), ContainmentMappingBatcher(containing)
+    )
+
+
+def encode_many(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    probes: Iterable[Sequence[Term]],
+) -> Iterator[MpiEncoding]:
+    """Encode one MPI per probe tuple, sharing one compiled containing-side plan.
+
+    The containing query's join order is compiled once (through the engine's
+    :class:`~repro.engine.batch.ContainmentMappingBatcher`) and re-targeted at
+    each grounded containee, which is what makes the all-probes and
+    bounded-guess strategies scale past a handful of probe tuples.  Lazy: a
+    caller that stops at the first refuting probe never pays for the rest
+    (the projection-freeness check still fails eagerly, at the call site).
+    """
+    containee.require_projection_free()
+    batcher = ContainmentMappingBatcher(containing)
+
+    def generate() -> Iterator[MpiEncoding]:
+        for probe in probes:
+            yield _encode_at_probe(containee, containing, tuple(probe), batcher)
+
+    return generate()
 
 
 def encode_most_general(

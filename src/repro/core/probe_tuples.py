@@ -64,20 +64,32 @@ def is_probe_tuple(query: ConjunctiveQuery, candidate: Sequence[Term]) -> bool:
     return True
 
 
+def _repeated_position_groups(query: ConjunctiveQuery) -> tuple[tuple[int, ...], ...]:
+    """Head positions sharing a variable (only groups of size ≥ 2 constrain)."""
+    positions: dict[Term, list[int]] = {}
+    for position, variable in enumerate(query.head):
+        positions.setdefault(variable, []).append(position)
+    return tuple(tuple(group) for group in positions.values() if len(group) > 1)
+
+
 def iter_probe_tuples(query: ConjunctiveQuery) -> Iterator[tuple[Term, ...]]:
     """Enumerate every probe tuple of *query* (Definition 3.1), lazily.
 
     The number of probe tuples is ``|adom(I_q)|^arity`` before the
     unifiability filter, so this enumeration is exponential in the arity of
-    the query; the main decision path never needs it (Theorem 5.3).
+    the query; the main decision path never needs it (Theorem 5.3).  The
+    unifiability condition is checked structurally — a candidate passes iff
+    every group of head positions sharing a variable carries one value — so
+    the inner loop of the all-probes sweep is exception-free.
     """
     domain = probe_domain(query)
+    groups = _repeated_position_groups(query)
     for candidate in product(domain, repeat=query.arity):
-        try:
-            unify_tuples(query.head, candidate)
-        except UnificationError:
-            continue
-        yield candidate
+        if all(
+            all(candidate[position] == candidate[group[0]] for position in group[1:])
+            for group in groups
+        ):
+            yield candidate
 
 
 def probe_tuples(query: ConjunctiveQuery) -> tuple[tuple[Term, ...], ...]:

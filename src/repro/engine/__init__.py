@@ -1,0 +1,103 @@
+"""The compiled homomorphism engine: plan / execute with caching and batching.
+
+Every decision path of this reproduction — bag evaluation (Equation 2),
+Chandra–Merlin set containment, the MPI encoding of Definition 3.3, and the
+three bag-containment strategies — bottoms out in the same combinatorial
+question: enumerate (or count, or merely detect) the homomorphisms of a set
+of source atoms into a set of target atoms under pre-fixed bindings.  This
+package turns that question into a compiled subsystem:
+
+1. **Plan** (:mod:`repro.engine.plan`): a ``(source, target, fixed)`` triple
+   is compiled once into a :class:`MatchPlan` — a statically ordered join
+   sequence chosen by a fail-first cost estimate, plus lazily built
+   per-relation candidate indexes keyed by bound-position signatures.
+2. **Execute** (:mod:`repro.engine.executor`): an iterative, trail-based
+   executor runs the plan in one of three modes — ``iterate``, ``count`` or
+   ``exists`` — so decision callers never pay for enumeration.
+3. **Cache** (:mod:`repro.engine.cache`): plans, target indexes and scalar
+   results are memoised in an :class:`EngineCache` with LRU bounds, hit/miss
+   statistics and explicit invalidation.
+4. **Batch** (:mod:`repro.engine.batch`): :func:`count_many`,
+   :func:`containment_mappings_many` and :func:`evaluate_bag_many` share one
+   compiled plan (and, for bags, one homomorphism enumeration) across whole
+   probe-tuple or candidate-bag sweeps.
+
+Two backends implement the common interface: ``naive`` (the original
+recursive backtracker, kept as the executable specification) and ``indexed``
+(the compiled engine, the default).  Select globally with
+:func:`set_default_backend` / :func:`use_backend`, or per call via the
+``backend=`` keyword; the CLI exposes the same choice as
+``--engine-backend`` and prints :func:`default_cache` statistics under
+``--engine-stats``.
+"""
+
+from repro.engine.api import count_homomorphisms, has_homomorphism, iterate_homomorphisms
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    Backend,
+    IndexedBackend,
+    NaiveBackend,
+    default_cache,
+    get_backend,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.engine.batch import (
+    BagBatchEvaluator,
+    ContainmentMappingBatcher,
+    containment_mappings_many,
+    count_many,
+    evaluate_bag_many,
+)
+from repro.engine.cache import CacheStats, EngineCache
+from repro.engine.executor import (
+    ExecutionStats,
+    execute_count,
+    execute_exists,
+    execute_iterate,
+)
+from repro.engine.fingerprints import atoms_fingerprint, instance_fingerprint, query_fingerprint
+from repro.engine.plan import (
+    JoinTemplate,
+    MatchPlan,
+    PlanStep,
+    TargetIndex,
+    compile_plan,
+    compile_template,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "BagBatchEvaluator",
+    "CacheStats",
+    "ContainmentMappingBatcher",
+    "EngineCache",
+    "ExecutionStats",
+    "IndexedBackend",
+    "JoinTemplate",
+    "MatchPlan",
+    "NaiveBackend",
+    "PlanStep",
+    "TargetIndex",
+    "atoms_fingerprint",
+    "compile_plan",
+    "compile_template",
+    "containment_mappings_many",
+    "count_homomorphisms",
+    "count_many",
+    "default_cache",
+    "evaluate_bag_many",
+    "execute_count",
+    "execute_exists",
+    "execute_iterate",
+    "get_backend",
+    "get_default_backend",
+    "has_homomorphism",
+    "instance_fingerprint",
+    "iterate_homomorphisms",
+    "query_fingerprint",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,52 @@
+"""Top-level engine entry points used by the rewired library layers.
+
+These functions are the atoms-level face of the engine: they resolve the
+process-wide default backend (or an explicit one), so the evaluation,
+containment, encoding and baseline layers stay backend-agnostic.  The
+query-level conveniences (head unification, probe handling) remain where
+they always lived — in :mod:`repro.evaluation` — and bottom out here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.engine.backends import Backend, get_default_backend
+from repro.relational.atoms import Atom
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Term, Variable
+
+__all__ = ["iterate_homomorphisms", "count_homomorphisms", "has_homomorphism"]
+
+
+def iterate_homomorphisms(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+    backend: Backend | None = None,
+) -> Iterator[Substitution]:
+    """Enumerate all homomorphisms from *source_atoms* into *target_atoms*."""
+    resolved = backend if backend is not None else get_default_backend()
+    return resolved.iterate(source_atoms, target_atoms, fixed)
+
+
+def count_homomorphisms(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+    backend: Backend | None = None,
+) -> int:
+    """Number of homomorphisms, computed in ``count`` mode (no substitutions)."""
+    resolved = backend if backend is not None else get_default_backend()
+    return resolved.count(source_atoms, target_atoms, fixed)
+
+
+def has_homomorphism(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None = None,
+    backend: Backend | None = None,
+) -> bool:
+    """``True`` when at least one homomorphism exists (early-exit ``exists`` mode)."""
+    resolved = backend if backend is not None else get_default_backend()
+    return resolved.exists(source_atoms, target_atoms, fixed)

@@ -1,0 +1,282 @@
+"""Homomorphism backends: the naive reference and the compiled indexed engine.
+
+A *backend* answers the three homomorphism questions over raw atom sets —
+enumerate (``iterate``), ``count`` and ``exists`` — behind one small
+interface, so every higher layer (evaluation, containment, encoding,
+baselines, CLI) can switch implementations without code changes:
+
+:class:`NaiveBackend`
+    The original recursive backtracker, kept verbatim as the executable
+    specification.  It rebuilds its relation index on every call and re-runs
+    the candidate count over all remaining atoms at every search node; it is
+    the semantics oracle the property tests compare against and the slow
+    side of the A/B benchmarks.
+
+:class:`IndexedBackend`
+    Compiles a :class:`~repro.engine.plan.MatchPlan` (memoised through an
+    :class:`~repro.engine.cache.EngineCache`) and runs the iterative
+    executor.  ``count`` and ``exists`` results are additionally memoised,
+    keyed by the full execution fingerprint.
+
+The module also owns the process-wide backend registry and default selection
+(`get_backend`, `set_default_backend`, `use_backend`), which the CLI exposes
+as ``--engine-backend``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping
+
+from repro.engine.cache import EngineCache
+from repro.engine.executor import (
+    ExecutionStats,
+    execute_count,
+    execute_exists,
+    execute_iterate,
+)
+from repro.engine.fingerprints import atoms_fingerprint
+from repro.engine.plan import JoinTemplate, MatchPlan
+from repro.exceptions import ReproError
+from repro.relational.atoms import Atom
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Term, Variable
+
+__all__ = [
+    "Backend",
+    "NaiveBackend",
+    "IndexedBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
+    "default_cache",
+]
+
+
+class Backend:
+    """Interface shared by all homomorphism backends."""
+
+    name: str = "abstract"
+
+    def iterate(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> Iterator[Substitution]:
+        raise NotImplementedError
+
+    def count(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> int:
+        return sum(1 for _ in self.iterate(source_atoms, target_atoms, fixed))
+
+    def exists(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> bool:
+        return next(self.iterate(source_atoms, target_atoms, fixed), None) is not None
+
+
+class NaiveBackend(Backend):
+    """The recursive reference implementation (pre-engine semantics).
+
+    Kept byte-for-byte faithful to the original
+    ``repro.evaluation.homomorphisms.homomorphisms`` so that the indexed
+    engine always has a trusted oracle: the target is re-indexed per call and
+    the next atom is chosen greedily per node by re-counting candidates.
+    """
+
+    name = "naive"
+
+    @staticmethod
+    def _match_atom(
+        atom: Atom, target: Atom, bindings: dict[Variable, Term]
+    ) -> dict[Variable, Term] | None:
+        if atom.relation != target.relation or atom.arity != target.arity:
+            return None
+        extended = dict(bindings)
+        for source_term, target_term in zip(atom.terms, target.terms):
+            if isinstance(source_term, Variable):
+                bound = extended.get(source_term)
+                if bound is None:
+                    extended[source_term] = target_term
+                elif bound != target_term:
+                    return None
+            elif source_term != target_term:
+                return None
+        return extended
+
+    def iterate(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> Iterator[Substitution]:
+        source = list(dict.fromkeys(source_atoms))
+        target = list(dict.fromkeys(target_atoms))
+
+        by_relation: dict[str, list[Atom]] = {}
+        for atom in target:
+            by_relation.setdefault(atom.relation, []).append(atom)
+
+        initial: dict[Variable, Term] = dict(fixed or {})
+
+        source_variables: set[Variable] = set()
+        for atom in source:
+            source_variables.update(atom.variables())
+
+        match_atom = self._match_atom
+
+        def candidate_count(atom: Atom, bindings: dict[Variable, Term]) -> int:
+            count = 0
+            for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
+                if match_atom(atom, candidate, bindings) is not None:
+                    count += 1
+            return count
+
+        def search(
+            remaining: list[Atom], bindings: dict[Variable, Term]
+        ) -> Iterator[dict[Variable, Term]]:
+            if not remaining:
+                yield bindings
+                return
+            # Fail-first: pick the atom with the fewest candidate images.
+            best_index = min(
+                range(len(remaining)), key=lambda index: candidate_count(remaining[index], bindings)
+            )
+            atom = remaining[best_index]
+            rest = remaining[:best_index] + remaining[best_index + 1 :]
+            for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
+                extended = match_atom(atom, candidate, bindings)
+                if extended is not None:
+                    yield from search(rest, extended)
+
+        for solution in search(source, initial):
+            complete = dict(solution)
+            for variable in source_variables:
+                complete.setdefault(variable, variable)
+            yield Substitution(complete)
+
+
+class IndexedBackend(Backend):
+    """The compiled plan/execute engine with plan and result memoisation."""
+
+    name = "indexed"
+
+    def __init__(self, cache: EngineCache | None = None, collect_stats: bool = True) -> None:
+        self.cache = cache if cache is not None else EngineCache()
+        self.stats = ExecutionStats() if collect_stats else None
+
+    # ------------------------------------------------------------------ #
+    # Plan access
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | Iterable[Variable] | None = None,
+        template: JoinTemplate | None = None,
+    ) -> MatchPlan:
+        """The (memoised) compiled plan for a ``(source, target, fixed)`` triple."""
+        fixed_variables = frozenset(fixed or ())
+        return self.cache.plan(tuple(source_atoms), target_atoms, fixed_variables, template=template)
+
+    # ------------------------------------------------------------------ #
+    # Backend interface
+    # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> Iterator[Substitution]:
+        plan = self.plan(source_atoms, target_atoms, fixed)
+        return execute_iterate(plan, fixed, stats=self.stats)
+
+    def count(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> int:
+        plan = self.plan(source_atoms, target_atoms, fixed)
+        key = self._result_key("count", plan, fixed)
+        return self.cache.result(key, lambda: execute_count(plan, fixed, stats=self.stats))  # type: ignore[return-value]
+
+    def exists(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> bool:
+        plan = self.plan(source_atoms, target_atoms, fixed)
+        key = self._result_key("exists", plan, fixed)
+        return self.cache.result(key, lambda: execute_exists(plan, fixed, stats=self.stats))  # type: ignore[return-value]
+
+    @staticmethod
+    def _result_key(mode: str, plan: MatchPlan, fixed: Mapping[Variable, Term] | None) -> tuple:
+        return (
+            mode,
+            atoms_fingerprint(plan.target_atoms),
+            atoms_fingerprint(plan.source_atoms),
+            frozenset((fixed or {}).items()),
+        )
+
+
+#: The canonical backend names, in CLI presentation order.
+BACKEND_NAMES = ("naive", "indexed")
+
+_REGISTRY: dict[str, Backend] = {
+    "naive": NaiveBackend(),
+    "indexed": IndexedBackend(),
+}
+
+_default_backend_name = "indexed"
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name (``naive`` or ``indexed``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}") from None
+
+
+def get_default_backend() -> Backend:
+    """The backend used when callers do not pass one explicitly."""
+    return _REGISTRY[_default_backend_name]
+
+
+def set_default_backend(name: str) -> str:
+    """Select the process-wide default backend; returns the previous name."""
+    global _default_backend_name
+    if name not in _REGISTRY:
+        raise ReproError(f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}")
+    previous = _default_backend_name
+    _default_backend_name = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily switch the default backend (restored on exit)."""
+    previous = set_default_backend(name)
+    try:
+        yield get_backend(name)
+    finally:
+        set_default_backend(previous)
+
+
+def default_cache() -> EngineCache:
+    """The cache of the shared indexed backend (for stats and invalidation)."""
+    backend = _REGISTRY["indexed"]
+    assert isinstance(backend, IndexedBackend)
+    return backend.cache

@@ -1,0 +1,204 @@
+"""The memoising engine cache: compiled plans, shared indexes, result memos.
+
+Compilation is cheap but not free (join ordering plus index bucketing is
+linear in the source and target sizes), and the library's hot paths compile
+the *same* triples over and over: every probe tuple of a containment check
+re-targets the same containing query, every candidate bag of a refuter
+re-evaluates the same grounded containee, every minimisation round re-folds
+the same body.  :class:`EngineCache` memoises three layers:
+
+* **target indexes**, keyed by the instance fingerprint — shared by every
+  query probing the same instance;
+* **match plans**, keyed by ``(source, target, fixed-variable-set)``
+  fingerprints — shared by every execution of the same logical search, no
+  matter which values the fixed variables take;
+* **scalar results** (``count`` / ``exists``), keyed by the full execution
+  key including the fixed values — these are pure functions of immutable
+  value objects, so memoising them is always sound.
+
+All three layers keep LRU order and expose hit/miss/eviction statistics;
+:meth:`EngineCache.invalidate` drops entries touching a given target (or
+everything), which is the hook instance-mutating callers use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.engine.fingerprints import atoms_fingerprint
+from repro.engine.plan import JoinTemplate, MatchPlan, TargetIndex, compile_plan
+from repro.relational.atoms import Atom
+from repro.relational.terms import Variable
+
+__all__ = ["CacheStats", "EngineCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache layer."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%}), {self.evictions} evicted"
+
+
+class _LruLayer:
+    """One bounded LRU mapping with its own statistics."""
+
+    __slots__ = ("name", "max_entries", "stats", "_entries")
+
+    def __init__(self, name: str, max_entries: int) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def get_or_build(self, key: Hashable, build: Callable[[], object]) -> object:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        entry = build()
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def drop(self, predicate: Callable[[Hashable], bool]) -> int:
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class EngineCache:
+    """Memoisation for compiled plans, target indexes and scalar results."""
+
+    def __init__(self, max_plans: int = 512, max_indexes: int = 128, max_results: int = 4096) -> None:
+        self._indexes = _LruLayer("indexes", max_indexes)
+        self._plans = _LruLayer("plans", max_plans)
+        self._results = _LruLayer("results", max_results)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / build
+    # ------------------------------------------------------------------ #
+    def target_index(self, target_atoms: Iterable[Atom]) -> TargetIndex:
+        """The shared :class:`TargetIndex` for a target fingerprint."""
+        target = tuple(target_atoms)
+        key = atoms_fingerprint(target)
+        return self._indexes.get_or_build(key, lambda: TargetIndex(target))  # type: ignore[return-value]
+
+    def plan(
+        self,
+        source_atoms: tuple[Atom, ...],
+        target_atoms: Iterable[Atom],
+        fixed_variables: frozenset[Variable],
+        template: JoinTemplate | None = None,
+    ) -> MatchPlan:
+        """The shared :class:`MatchPlan` for a ``(source, target, fixed)`` triple."""
+        target = tuple(target_atoms)
+        target_key = atoms_fingerprint(target)
+        key = (atoms_fingerprint(source_atoms), target_key, fixed_variables)
+
+        def build() -> MatchPlan:
+            index = self.target_index(target)
+            return compile_plan(source_atoms, target, fixed_variables, template=template, index=index)
+
+        return self._plans.get_or_build(key, build)  # type: ignore[return-value]
+
+    def result(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """Memoise a scalar (count/exists) result under an execution key."""
+        return self._results.get_or_build(key, compute)
+
+    # ------------------------------------------------------------------ #
+    # Invalidation / introspection
+    # ------------------------------------------------------------------ #
+    def invalidate(self, target_atoms: Iterable[Atom] | None = None) -> int:
+        """Drop cached entries touching *target_atoms* (or everything).
+
+        Returns the number of entries dropped.  The engine's value objects
+        are immutable, so invalidation is never needed for correctness; it
+        exists for long-running services that want to bound memory ahead of
+        the LRU or that recycle instance identities.
+        """
+        if target_atoms is None:
+            dropped = len(self._indexes) + len(self._plans) + len(self._results)
+            self.clear()
+            return dropped
+        target_key = atoms_fingerprint(target_atoms)
+        dropped = self._indexes.drop(lambda key: key == target_key)
+        dropped += self._plans.drop(lambda key: key[1] == target_key)  # type: ignore[index]
+        dropped += self._results.drop(
+            lambda key: isinstance(key, tuple) and len(key) > 1 and key[1] == target_key
+        )
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every cached entry (statistics are preserved)."""
+        self._indexes.clear()
+        self._plans.clear()
+        self._results.clear()
+
+    def reset_stats(self) -> None:
+        """Zero all hit/miss/eviction counters."""
+        for layer in (self._indexes, self._plans, self._results):
+            layer.stats = CacheStats()
+
+    @property
+    def plan_stats(self) -> CacheStats:
+        return self._plans.stats
+
+    @property
+    def index_stats(self) -> CacheStats:
+        return self._indexes.stats
+
+    @property
+    def result_stats(self) -> CacheStats:
+        return self._results.stats
+
+    def snapshot(self) -> dict[str, tuple[int, int, int]]:
+        """Current ``(hits, misses, evictions)`` per layer, for delta reports."""
+        return {
+            layer.name: (layer.stats.hits, layer.stats.misses, layer.stats.evictions)
+            for layer in (self._plans, self._indexes, self._results)
+        }
+
+    def describe(self, since: Mapping[str, tuple[int, int, int]] | None = None) -> str:
+        """A compact multi-line stats report (used by ``--engine-stats``).
+
+        With *since* (a :meth:`snapshot` taken earlier) the hit/miss/eviction
+        counters are reported as deltas, so callers can show what one command
+        did rather than the process-lifetime totals of the shared cache.
+        """
+        lines = []
+        for layer in (self._plans, self._indexes, self._results):
+            hits, misses, evictions = layer.stats.hits, layer.stats.misses, layer.stats.evictions
+            if since is not None:
+                base = since.get(layer.name, (0, 0, 0))
+                hits, misses, evictions = hits - base[0], misses - base[1], evictions - base[2]
+            window = CacheStats(hits=hits, misses=misses, evictions=evictions)
+            lines.append(f"{layer.name:<8} {len(layer)} entries, {window.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Iterative execution of compiled match plans.
+
+The executor walks the statically ordered steps of a
+:class:`~repro.engine.plan.JoinTemplate` with an explicit depth counter, one
+candidate iterator per step, and a binding *trail* for O(1) backtracking — no
+recursion, no per-node dictionary copies, no re-derivation of candidate sets.
+At depth ``d`` the candidates are obtained from the target's signature index
+using the key assembled from the current bindings; descending binds the
+step's fresh variables in place and records them on the trail, backtracking
+pops the trail.
+
+Three execution modes share the same core loop:
+
+``iterate``
+    Yield one :class:`~repro.relational.substitutions.Substitution` per
+    solution (the classic enumeration API).
+
+``count``
+    Return the number of solutions without materialising any substitution —
+    the bag-set multiplicity of an answer tuple is exactly this number.
+
+``exists``
+    Return as soon as the first solution is found; the decision entry points
+    (`has_homomorphism`, set containment, minimisation folds) never need the
+    witness enumeration cost.
+
+:class:`ExecutionStats` counts candidates tried and solutions found, which
+the test-suite uses to prove that ``exists`` genuinely early-exits instead
+of enumerating everything and taking the first element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.engine.plan import _CONST, MatchPlan
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Term, Variable
+
+__all__ = ["ExecutionStats", "execute_iterate", "execute_count", "execute_exists"]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated by plan executions that opt into stats."""
+
+    candidates_tried: int = 0
+    solutions_found: int = 0
+    executions: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.candidates_tried += other.candidates_tried
+        self.solutions_found += other.solutions_found
+        self.executions += other.executions
+
+
+@dataclass
+class _Run:
+    """Mutable per-execution state shared by the mode wrappers."""
+
+    candidates: int = 0
+    solutions: int = 0
+
+
+def _solutions(
+    plan: MatchPlan, bindings: dict[Variable, Term], run: _Run
+) -> Iterator[dict[Variable, Term]]:
+    """Core loop: yields the *live* bindings dict once per solution.
+
+    Callers must not retain the yielded dict across iterations — snapshot it
+    (the ``iterate`` wrapper does) or consume it immediately (``count`` and
+    ``exists`` do).
+    """
+    steps = plan.template.steps
+    index = plan.index
+    n = len(steps)
+    if n == 0:
+        run.solutions += 1
+        yield bindings
+        return
+
+    iterators: list[Iterator] = [iter(())] * n
+    trail: list[tuple[Variable, ...]] = [()] * n
+
+    def start(depth: int) -> None:
+        step = steps[depth]
+        key = tuple(
+            source if kind == _CONST else bindings[source]  # type: ignore[index]
+            for kind, source in step.key_sources
+        )
+        iterators[depth] = iter(index.candidates(step.relation, step.arity, step.signature, key))
+
+    start(0)
+    depth = 0
+    while depth >= 0:
+        step = steps[depth]
+        new_var_positions = step.new_var_positions
+        descended = False
+        for candidate in iterators[depth]:
+            run.candidates += 1
+            terms = candidate.terms
+            newly: list[Variable] = []
+            ok = True
+            for position, variable in new_var_positions:
+                term = terms[position]
+                bound = bindings.get(variable)
+                if bound is None:
+                    bindings[variable] = term
+                    newly.append(variable)
+                elif bound != term:
+                    ok = False
+                    break
+            if not ok:
+                for variable in newly:
+                    del bindings[variable]
+                continue
+            if depth == n - 1:
+                run.solutions += 1
+                yield bindings
+                for variable in newly:
+                    del bindings[variable]
+                continue
+            trail[depth] = tuple(newly)
+            depth += 1
+            start(depth)
+            descended = True
+            break
+        if not descended:
+            depth -= 1
+            if depth >= 0:
+                for variable in trail[depth]:
+                    del bindings[variable]
+
+
+def _initial_bindings(fixed: Mapping[Variable, Term] | None) -> dict[Variable, Term]:
+    return dict(fixed or {})
+
+
+def execute_iterate(
+    plan: MatchPlan,
+    fixed: Mapping[Variable, Term] | None = None,
+    stats: ExecutionStats | None = None,
+) -> Iterator[Substitution]:
+    """Enumerate every homomorphism as a :class:`Substitution`.
+
+    Matches the reference semantics of
+    :func:`repro.evaluation.homomorphisms.homomorphisms`: fixed bindings are
+    included in the yielded substitutions, and source variables left unbound
+    (none, once all steps ran) default to themselves.
+    """
+    bindings = _initial_bindings(fixed)
+    plan.check_fixed(bindings)
+    run = _Run()
+    try:
+        for solution in _solutions(plan, bindings, run):
+            yield Substitution(solution)
+    finally:
+        if stats is not None:
+            stats.candidates_tried += run.candidates
+            stats.solutions_found += run.solutions
+            stats.executions += 1
+
+
+def execute_count(
+    plan: MatchPlan,
+    fixed: Mapping[Variable, Term] | None = None,
+    stats: ExecutionStats | None = None,
+) -> int:
+    """Count homomorphisms without materialising substitutions."""
+    bindings = _initial_bindings(fixed)
+    plan.check_fixed(bindings)
+    run = _Run()
+    for _ in _solutions(plan, bindings, run):
+        pass
+    if stats is not None:
+        stats.candidates_tried += run.candidates
+        stats.solutions_found += run.solutions
+        stats.executions += 1
+    return run.solutions
+
+
+def execute_exists(
+    plan: MatchPlan,
+    fixed: Mapping[Variable, Term] | None = None,
+    stats: ExecutionStats | None = None,
+) -> bool:
+    """``True`` as soon as one homomorphism is found; never enumerates more."""
+    bindings = _initial_bindings(fixed)
+    plan.check_fixed(bindings)
+    run = _Run()
+    found = next(_solutions(plan, bindings, run), None) is not None
+    if stats is not None:
+        stats.candidates_tried += run.candidates
+        stats.solutions_found += run.solutions
+        stats.executions += 1
+    return found

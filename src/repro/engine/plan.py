@@ -1,0 +1,307 @@
+"""Match-plan compilation: static join orders and signature-keyed indexes.
+
+The engine separates the *what* of homomorphism search (which source atoms
+must be mapped into which target atoms, under which pre-fixed bindings) from
+the *how* (in which order the atoms are matched and how candidate facts are
+looked up).  Compilation happens once per ``(source, target, fixed-keys)``
+triple and produces two reusable artefacts:
+
+:class:`JoinTemplate`
+    The target-independent half of a plan.  Given the deduplicated source
+    atoms and the *set* of variables that will be pre-bound at execution time
+    (their values are only known later — e.g. the head variables of a query
+    being probed at many answer tuples), the compiler chooses a static atom
+    order by a greedy fail-first cost estimate and precomputes, for every
+    step, the *bound-position signature*: the argument positions whose value
+    is already determined when the step runs (constants, pre-fixed variables,
+    and variables bound by earlier steps).  Each step also records which
+    positions bind new variables, so the executor never re-derives anything.
+
+:class:`TargetIndex`
+    The source-independent half.  Target atoms are bucketed by
+    ``(relation, arity)`` and, lazily, by bound-position signature: the first
+    time a step asks for candidates matching a signature, a hash index from
+    the tuple of terms at the signature positions to the candidate atoms is
+    built and memoised.  Subsequent executions of the same plan (or of any
+    plan sharing the index) look candidates up in O(1) instead of scanning
+    the relation bucket with a per-candidate match test.
+
+A :class:`MatchPlan` pairs one template with one index; execution lives in
+:mod:`repro.engine.executor`.  Because a template only depends on the source
+side, it can be shared across many targets (the batch containment-mapping
+entry point compiles the containing query once and re-instantiates the plan
+per grounded containee), and because an index only depends on the target, it
+is shared across all queries probing the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+from repro.relational.atoms import Atom
+from repro.relational.terms import Term, Variable
+
+__all__ = [
+    "PlanStep",
+    "JoinTemplate",
+    "TargetIndex",
+    "MatchPlan",
+    "compile_template",
+    "compile_plan",
+]
+
+
+#: Sentinel kinds for the per-position key sources of a step.
+_CONST = 0
+_VAR = 1
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One statically scheduled join step.
+
+    ``signature`` lists the argument positions whose value is determined
+    before the step runs; ``key_sources`` says, position by position, where
+    that value comes from (a literal constant, or a variable guaranteed to be
+    bound — pre-fixed or bound by an earlier step).  ``new_var_positions``
+    lists the positions that bind fresh variables; a variable repeated inside
+    the atom appears once per occurrence and the executor enforces
+    consistency between the occurrences.
+    """
+
+    atom: Atom
+    relation: str
+    arity: int
+    signature: tuple[int, ...]
+    key_sources: tuple[tuple[int, object], ...]  # (kind, term-or-variable), aligned with signature
+    new_var_positions: tuple[tuple[int, Variable], ...]
+
+
+def _make_step(atom: Atom, bound: set[Variable]) -> PlanStep:
+    signature: list[int] = []
+    key_sources: list[tuple[int, object]] = []
+    new_vars: list[tuple[int, Variable]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term in bound:
+                signature.append(position)
+                key_sources.append((_VAR, term))
+            else:
+                new_vars.append((position, term))
+        else:
+            signature.append(position)
+            key_sources.append((_CONST, term))
+    return PlanStep(
+        atom=atom,
+        relation=atom.relation,
+        arity=atom.arity,
+        signature=tuple(signature),
+        key_sources=tuple(key_sources),
+        new_var_positions=tuple(new_vars),
+    )
+
+
+@dataclass(frozen=True)
+class JoinTemplate:
+    """A compiled, target-independent join order over the source atoms."""
+
+    source_atoms: tuple[Atom, ...]
+    fixed_variables: frozenset[Variable]
+    steps: tuple[PlanStep, ...]
+    source_variables: frozenset[Variable]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """A human-readable rendering of the join order and signatures."""
+        lines = [f"join template over {len(self.source_atoms)} atoms"]
+        for index, step in enumerate(self.steps):
+            bound = ", ".join(str(p) for p in step.signature) or "none"
+            fresh = ", ".join(str(v) for _, v in step.new_var_positions) or "none"
+            lines.append(f"  step {index}: {step.atom}  [bound positions: {bound}; binds: {fresh}]")
+        return "\n".join(lines)
+
+
+def compile_template(
+    source_atoms: Iterable[Atom],
+    fixed_variables: Iterable[Variable] = (),
+    relation_sizes: Mapping[tuple[str, int], int] | None = None,
+) -> JoinTemplate:
+    """Choose a static join order with a greedy fail-first cost estimate.
+
+    At each step the atom with the smallest estimated candidate count is
+    scheduled next.  The estimate is ``bucket_size``, discounted once per
+    determined position — determined positions shrink the candidate set via
+    the signature index, so atoms that are more constrained (and relations
+    that are smaller) are matched first, failing as early as possible.  Ties
+    prefer more determined positions, then the original atom order, keeping
+    compilation deterministic.
+    """
+    source = tuple(dict.fromkeys(source_atoms))
+    fixed = frozenset(fixed_variables)
+
+    source_variables: set[Variable] = set()
+    for atom in source:
+        source_variables.update(atom.variables())
+
+    sizes = relation_sizes or {}
+
+    def estimate(atom: Atom, bound: set[Variable]) -> tuple[float, int]:
+        determined = 0
+        for term in atom.terms:
+            if not isinstance(term, Variable) or term in bound:
+                determined += 1
+        bucket = sizes.get((atom.relation, atom.arity), 8)
+        # Each determined position is assumed to cut the bucket by ~4x; the
+        # exact constant only shapes tie-breaking between relations of very
+        # different sizes, never correctness.
+        return (bucket / (4.0 ** determined), -determined)
+
+    bound: set[Variable] = set(fixed)
+    remaining = list(source)
+    steps: list[PlanStep] = []
+    while remaining:
+        best_index = min(range(len(remaining)), key=lambda i: estimate(remaining[i], bound))
+        atom = remaining.pop(best_index)
+        steps.append(_make_step(atom, bound))
+        bound.update(atom.variables())
+
+    return JoinTemplate(
+        source_atoms=source,
+        fixed_variables=fixed,
+        steps=tuple(steps),
+        source_variables=frozenset(source_variables),
+    )
+
+
+class TargetIndex:
+    """Per-relation candidate indexes over a fixed set of target atoms.
+
+    Signature indexes are built lazily: the first request for candidates of
+    ``(relation, arity)`` under a signature scans the relation bucket once
+    and groups the atoms by the tuple of terms at the signature positions;
+    every later request is a dictionary lookup.
+    """
+
+    __slots__ = ("_atoms", "_buckets", "_signature_indexes")
+
+    def __init__(self, target_atoms: Iterable[Atom]) -> None:
+        self._atoms: tuple[Atom, ...] = tuple(dict.fromkeys(target_atoms))
+        buckets: dict[tuple[str, int], list[Atom]] = {}
+        for atom in self._atoms:
+            buckets.setdefault((atom.relation, atom.arity), []).append(atom)
+        self._buckets = buckets
+        self._signature_indexes: dict[
+            tuple[str, int, tuple[int, ...]], dict[tuple[Term, ...], list[Atom]]
+        ] = {}
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """The deduplicated target atoms, in first-seen order."""
+        return self._atoms
+
+    def relation_sizes(self) -> dict[tuple[str, int], int]:
+        """Bucket sizes, used by the template compiler's cost estimate."""
+        return {key: len(bucket) for key, bucket in self._buckets.items()}
+
+    def bucket(self, relation: str, arity: int) -> Sequence[Atom]:
+        """All target atoms of the given relation and arity."""
+        return self._buckets.get((relation, arity), ())
+
+    def candidates(
+        self, relation: str, arity: int, signature: tuple[int, ...], key: tuple[Term, ...]
+    ) -> Sequence[Atom]:
+        """Target atoms matching *key* at the *signature* positions."""
+        if not signature:
+            return self._buckets.get((relation, arity), ())
+        index_key = (relation, arity, signature)
+        index = self._signature_indexes.get(index_key)
+        if index is None:
+            index = {}
+            for atom in self._buckets.get((relation, arity), ()):
+                terms = atom.terms
+                index.setdefault(tuple(terms[p] for p in signature), []).append(atom)
+            self._signature_indexes[index_key] = index
+        return index.get(key, ())
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """A compiled plan: one join template instantiated against one index."""
+
+    template: JoinTemplate
+    index: TargetIndex
+
+    @property
+    def source_atoms(self) -> tuple[Atom, ...]:
+        return self.template.source_atoms
+
+    @property
+    def target_atoms(self) -> tuple[Atom, ...]:
+        return self.index.atoms
+
+    def describe(self) -> str:
+        """Join order plus target statistics, for debugging and the CLI."""
+        sizes = ", ".join(
+            f"{relation}/{arity}:{size}"
+            for (relation, arity), size in sorted(self.index.relation_sizes().items())
+        )
+        return self.template.describe() + f"\n  target: {len(self.index)} atoms ({sizes or 'empty'})"
+
+    def check_fixed(self, fixed: Mapping[Variable, Term]) -> None:
+        """Reject execution-time bindings the plan was not compiled for.
+
+        Bindings for source variables outside the compiled fixed set would
+        silently bypass the signature indexes (the plan would treat them as
+        free), and compiled fixed variables left unbound would fault inside
+        the executor's key construction — both are errors rather than slow
+        or broken paths.
+        """
+        unplanned = [
+            variable
+            for variable in fixed
+            if variable not in self.template.fixed_variables
+            and variable in self.template.source_variables
+        ]
+        if unplanned:
+            raise ReproError(
+                "plan was compiled without fixed bindings for "
+                f"{sorted(str(v) for v in unplanned)}; recompile with the full fixed-variable set"
+            )
+        missing = [
+            variable
+            for variable in self.template.fixed_variables
+            if variable in self.template.source_variables and variable not in fixed
+        ]
+        if missing:
+            raise ReproError(
+                "plan was compiled expecting fixed bindings for "
+                f"{sorted(str(v) for v in missing)}; pass values for them at execution time"
+            )
+
+
+def compile_plan(
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    fixed_variables: Iterable[Variable] = (),
+    template: JoinTemplate | None = None,
+    index: TargetIndex | None = None,
+) -> MatchPlan:
+    """Compile a reusable match plan for a ``(source, target, fixed)`` triple.
+
+    Either half may be supplied pre-compiled: a *template* to share a join
+    order across targets (its source atoms and fixed variables must match),
+    or an *index* to share target bucketing across sources.
+    """
+    if index is None:
+        index = TargetIndex(target_atoms)
+    if template is None:
+        template = compile_template(source_atoms, fixed_variables, index.relation_sizes())
+    return MatchPlan(template=template, index=index)

@@ -24,7 +24,12 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational.instances import BagInstance
 from repro.relational.substitutions import Substitution
-from repro.relational.terms import Term
+from repro.relational.terms import Term, term_sort_key
+
+
+def _answer_sort_key(answer: tuple[Term, ...]) -> tuple:
+    """Order answer tuples structurally (no ``str()`` collisions)."""
+    return tuple(term_sort_key(term) for term in answer)
 
 __all__ = [
     "AnswerBag",
@@ -44,10 +49,10 @@ class AnswerBag:
 
     __slots__ = ("_answers",)
 
-    def __init__(self, answers: Mapping[tuple[Term, ...], int] = {}) -> None:
-        self._answers: dict[tuple[Term, ...], int] = {
-            answer: count for answer, count in answers.items() if count > 0
-        }
+    def __init__(self, answers: Mapping[tuple[Term, ...], int] | None = None) -> None:
+        self._answers: dict[tuple[Term, ...], int] = (
+            {} if answers is None else {answer: count for answer, count in answers.items() if count > 0}
+        )
 
     def __getitem__(self, answer: Sequence[Term]) -> int:
         return self._answers.get(tuple(answer), 0)
@@ -56,7 +61,7 @@ class AnswerBag:
         return tuple(answer) in self._answers  # type: ignore[arg-type]
 
     def __iter__(self) -> Iterator[tuple[Term, ...]]:
-        return iter(sorted(self._answers, key=str))
+        return iter(sorted(self._answers, key=_answer_sort_key))
 
     def __len__(self) -> int:
         return len(self._answers)
@@ -70,8 +75,14 @@ class AnswerBag:
         return hash(frozenset(self._answers.items()))
 
     def items(self) -> Iterator[tuple[tuple[Term, ...], int]]:
-        """``(answer, multiplicity)`` pairs in a deterministic order."""
-        return iter(sorted(self._answers.items(), key=lambda item: str(item[0])))
+        """``(answer, multiplicity)`` pairs, ordered by term structure.
+
+        The order is deterministic and collision-free: tuples are compared
+        term by term via :func:`repro.relational.terms.term_sort_key`, so two
+        distinct answers never tie the way ``str()``-keyed sorting allowed
+        (e.g. ``Constant(1)`` vs ``Constant("1")``).
+        """
+        return iter(sorted(self._answers.items(), key=lambda item: _answer_sort_key(item[0])))
 
     def support(self) -> frozenset[tuple[Term, ...]]:
         """The set of answers with positive multiplicity."""

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.engine import count_homomorphisms
 from repro.evaluation.bag_evaluation import AnswerBag
-from repro.evaluation.homomorphisms import query_homomorphisms
+from repro.evaluation.homomorphisms import answer_fixing, query_homomorphisms
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational.instances import SetInstance
@@ -29,8 +30,14 @@ __all__ = ["evaluate_bag_set", "bag_set_multiplicity", "evaluate_bag_set_ucq"]
 def bag_set_multiplicity(
     query: ConjunctiveQuery, instance: SetInstance, answer: Sequence[Term]
 ) -> int:
-    """Number of homomorphisms of *query* into *instance* producing *answer*."""
-    return sum(1 for _ in query_homomorphisms(query, instance, answer=tuple(answer)))
+    """Number of homomorphisms of *query* into *instance* producing *answer*.
+
+    Runs in the engine's ``count`` mode: no substitution objects are built.
+    """
+    fixed = answer_fixing(query, tuple(answer))
+    if fixed is None:
+        return 0
+    return count_homomorphisms(query.body_atoms(), instance.facts, fixed)
 
 
 def evaluate_bag_set(query: ConjunctiveQuery, instance: SetInstance) -> AnswerBag:

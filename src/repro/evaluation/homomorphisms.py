@@ -1,6 +1,6 @@
-"""Homomorphism and containment-mapping enumeration.
+"""Homomorphism and containment-mapping enumeration (query-level layer).
 
-This is the combinatorial engine underneath everything else:
+This is the combinatorial surface underneath everything else:
 
 * ``Hom(q, I)`` — homomorphisms of a query into a set instance — drive both
   set-semantics evaluation and bag-semantics evaluation (Equation 2);
@@ -10,23 +10,34 @@ This is the combinatorial engine underneath everything else:
 
 Both are special cases of one operation: enumerating all substitutions ``h``
 of the variables of a *source* set of atoms such that ``h(α)`` belongs to a
-*target* set of atoms, subject to some pre-fixed bindings (for containment
-mappings the head of the source must map to the head of the target).  The
-enumeration is a backtracking search over source atoms, with the target
-indexed by relation name and the next atom chosen greedily by the number of
-remaining candidate facts (a classic fail-first heuristic).
+*target* set of atoms, subject to some pre-fixed bindings.  That operation
+now lives in :mod:`repro.engine`, which compiles a ``(source, target,
+fixed)`` triple into a reusable match plan and executes it iteratively in
+``iterate`` / ``count`` / ``exists`` mode.  This module keeps the historical
+query-level API:
+
+* :func:`homomorphisms` is a *compatibility shim* pinned to the ``naive``
+  reference backend — the original recursive backtracker — so downstream
+  code (and the property tests) always have the executable specification;
+* every other entry point routes through the engine's default backend
+  (``indexed`` unless reconfigured), picking the cheapest execution mode:
+  :func:`has_homomorphism` uses ``exists`` and never materialises a
+  substitution, :func:`count_homomorphisms` uses ``count``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.engine import api as _engine
+from repro.engine.backends import get_backend
+from repro.engine.batch import head_fixing
 from repro.exceptions import QueryError
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.atoms import Atom
 from repro.relational.instances import SetInstance
 from repro.relational.substitutions import Substitution, unify_tuples
-from repro.relational.terms import Term, Variable, is_constant_like
+from repro.relational.terms import Term, Variable
 
 __all__ = [
     "homomorphisms",
@@ -35,30 +46,8 @@ __all__ = [
     "containment_mappings",
     "containment_mappings_to_ground",
     "has_homomorphism",
+    "answer_fixing",
 ]
-
-
-def _match_atom(atom: Atom, target: Atom, bindings: dict[Variable, Term]) -> dict[Variable, Term] | None:
-    """Try to extend *bindings* so that the source *atom* maps onto *target*.
-
-    Returns the extended bindings (a new dict) on success, ``None`` on
-    failure.  Constants in the source must equal the corresponding target
-    term; source variables may map to any target term but must do so
-    consistently.
-    """
-    if atom.relation != target.relation or atom.arity != target.arity:
-        return None
-    extended = dict(bindings)
-    for source_term, target_term in zip(atom.terms, target.terms):
-        if isinstance(source_term, Variable):
-            bound = extended.get(source_term)
-            if bound is None:
-                extended[source_term] = target_term
-            elif bound != target_term:
-                return None
-        elif source_term != target_term:
-            return None
-    return extended
 
 
 def homomorphisms(
@@ -73,47 +62,14 @@ def homomorphisms(
     atom ``α``.  Pre-fixed bindings (*fixed*) are honoured and included in
     the yielded substitutions.  Target atoms may themselves contain
     variables (needed for containment mappings between non-ground queries).
+
+    .. note::
+       This function is the compatibility shim over the **naive** reference
+       backend and ignores the engine's default-backend selection; use
+       :func:`repro.engine.iterate_homomorphisms` (or the other helpers in
+       this module) for the compiled engine.
     """
-    source = list(dict.fromkeys(source_atoms))
-    target = list(dict.fromkeys(target_atoms))
-
-    by_relation: dict[str, list[Atom]] = {}
-    for atom in target:
-        by_relation.setdefault(atom.relation, []).append(atom)
-
-    initial: dict[Variable, Term] = dict(fixed or {})
-
-    source_variables: set[Variable] = set()
-    for atom in source:
-        source_variables.update(atom.variables())
-
-    def candidate_count(atom: Atom, bindings: dict[Variable, Term]) -> int:
-        count = 0
-        for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
-            if _match_atom(atom, candidate, bindings) is not None:
-                count += 1
-        return count
-
-    def search(remaining: list[Atom], bindings: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
-        if not remaining:
-            yield bindings
-            return
-        # Fail-first: pick the atom with the fewest candidate images.
-        best_index = min(
-            range(len(remaining)), key=lambda index: candidate_count(remaining[index], bindings)
-        )
-        atom = remaining[best_index]
-        rest = remaining[:best_index] + remaining[best_index + 1 :]
-        for candidate in by_relation.get(atom.relation, ()):  # pragma: no branch
-            extended = _match_atom(atom, candidate, bindings)
-            if extended is not None:
-                yield from search(rest, extended)
-
-    for solution in search(source, initial):
-        complete = dict(solution)
-        for variable in source_variables:
-            complete.setdefault(variable, variable)
-        yield Substitution(complete)
+    return get_backend("naive").iterate(source_atoms, target_atoms, fixed)
 
 
 def has_homomorphism(
@@ -121,8 +77,8 @@ def has_homomorphism(
     target_atoms: Iterable[Atom],
     fixed: Mapping[Variable, Term] | None = None,
 ) -> bool:
-    """``True`` when at least one homomorphism exists."""
-    return next(iter(homomorphisms(source_atoms, target_atoms, fixed)), None) is not None
+    """``True`` when at least one homomorphism exists (engine ``exists`` mode)."""
+    return _engine.has_homomorphism(source_atoms, target_atoms, fixed)
 
 
 def count_homomorphisms(
@@ -130,8 +86,31 @@ def count_homomorphisms(
     target_atoms: Iterable[Atom],
     fixed: Mapping[Variable, Term] | None = None,
 ) -> int:
-    """Number of homomorphisms from *source_atoms* into *target_atoms*."""
-    return sum(1 for _ in homomorphisms(source_atoms, target_atoms, fixed))
+    """Number of homomorphisms (engine ``count`` mode, no substitutions built)."""
+    return _engine.count_homomorphisms(source_atoms, target_atoms, fixed)
+
+
+def answer_fixing(
+    query: ConjunctiveQuery, answer: Sequence[Term] | None
+) -> dict[Variable, Term] | None:
+    """Head bindings for an answer restriction; ``None`` when inconsistent.
+
+    Shared by every caller that pins a query's head to an answer tuple
+    (query homomorphisms, bag-set counting, the batch bag evaluator).
+    Raises :class:`QueryError` when the answer's arity does not match.
+    """
+    if answer is None:
+        return {}
+    answer = tuple(answer)
+    if len(answer) != query.arity:
+        raise QueryError(
+            f"answer tuple has arity {len(answer)}, query {query.name} has arity {query.arity}"
+        )
+    try:
+        substitution = unify_tuples(query.head, answer)
+    except Exception:
+        return None
+    return {variable: substitution[variable] for variable in substitution}
 
 
 def query_homomorphisms(
@@ -146,19 +125,10 @@ def query_homomorphisms(
     inconsistent — e.g. a repeated head variable asked to take two different
     values — no homomorphism is yielded).
     """
-    fixed: dict[Variable, Term] = {}
-    if answer is not None:
-        answer = tuple(answer)
-        if len(answer) != query.arity:
-            raise QueryError(
-                f"answer tuple has arity {len(answer)}, query {query.name} has arity {query.arity}"
-            )
-        try:
-            substitution = unify_tuples(query.head, answer)
-        except Exception:
-            return iter(())
-        fixed = {variable: substitution[variable] for variable in substitution}
-    return homomorphisms(query.body_atoms(), instance.facts, fixed)
+    fixed = answer_fixing(query, answer)
+    if fixed is None:
+        return iter(())
+    return _engine.iterate_homomorphisms(query.body_atoms(), instance.facts, fixed)
 
 
 def containment_mappings(
@@ -174,13 +144,10 @@ def containment_mappings(
     """
     if containing.arity != containee.arity:
         return iter(())
-    fixed: dict[Variable, Term] = {}
-    for source_variable, target_term in zip(containing.head, containee.head):
-        bound = fixed.get(source_variable)
-        if bound is not None and bound != target_term:
-            return iter(())
-        fixed[source_variable] = target_term
-    return homomorphisms(containing.body_atoms(), containee.body_atoms(), fixed)
+    fixed = head_fixing(containing.head, containee.head)
+    if fixed is None:
+        return iter(())
+    return _engine.iterate_homomorphisms(containing.body_atoms(), containee.body_atoms(), fixed)
 
 
 def containment_mappings_to_ground(
@@ -198,13 +165,9 @@ def containment_mappings_to_ground(
     probe = tuple(probe)
     if containing.arity != len(probe):
         return iter(())
-    fixed: dict[Variable, Term] = {}
-    for source_term, target_term in zip(containing.head, probe):
-        if isinstance(source_term, Variable):
-            bound = fixed.get(source_term)
-            if bound is not None and bound != target_term:
-                return iter(())
-            fixed[source_term] = target_term
-        elif source_term != target_term:  # pragma: no cover - heads are variables
-            return iter(())
-    return homomorphisms(containing.body_atoms(), grounded_containee.body_atoms(), fixed)
+    fixed = head_fixing(containing.head, probe)
+    if fixed is None:
+        return iter(())
+    return _engine.iterate_homomorphisms(
+        containing.body_atoms(), grounded_containee.body_atoms(), fixed
+    )

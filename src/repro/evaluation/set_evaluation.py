@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.engine import has_homomorphism
 from repro.evaluation.homomorphisms import query_homomorphisms
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
@@ -47,5 +48,7 @@ def holds(query: ConjunctiveQuery, instance: SetInstance) -> bool:
     """Whether a Boolean query holds (has at least one homomorphism) on *instance*.
 
     For non-Boolean queries this means "has at least one answer tuple".
+    Runs in the engine's ``exists`` mode: the search stops at the first
+    homomorphism without materialising any substitution.
     """
-    return next(query_homomorphisms(query, instance), None) is not None
+    return has_homomorphism(query.body_atoms(), instance.facts)

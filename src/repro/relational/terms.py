@@ -32,6 +32,7 @@ __all__ = [
     "decanonical",
     "make_variables",
     "make_constants",
+    "term_sort_key",
 ]
 
 
@@ -144,6 +145,25 @@ def decanonical(constant: CanonicalConstant) -> Variable:
     if not isinstance(constant, CanonicalConstant):
         raise InvalidTermError(f"decanonical() expects a CanonicalConstant, got {constant!r}")
     return constant.variable
+
+
+def term_sort_key(term: Term) -> tuple[int, str, str]:
+    """A total, structure-aware sort key for terms.
+
+    Sorting by ``str()`` conflates distinct terms whose renderings collide
+    (``Variable("a")`` vs ``Constant("a")`` vs ``Constant(1)`` vs
+    ``Constant("1")``).  This key orders first by term kind (variables,
+    language constants, canonical constants), then by the type of the payload,
+    then by its rendering — so equal keys imply equal terms for the hashable
+    payloads the library uses (strings, integers, ...).
+    """
+    if isinstance(term, Variable):
+        return (0, "", term.name)
+    if isinstance(term, Constant):
+        return (1, type(term.value).__name__, str(term.value))
+    if isinstance(term, CanonicalConstant):
+        return (2, "", term.variable_name)
+    raise InvalidTermError(f"term_sort_key() expects a term, got {term!r}")
 
 
 def make_variables(*names: str) -> tuple[Variable, ...]:

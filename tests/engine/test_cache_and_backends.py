@@ -1,0 +1,167 @@
+"""Unit tests for the engine cache, fingerprints, and backend selection."""
+
+import pytest
+
+from repro.engine import (
+    EngineCache,
+    IndexedBackend,
+    NaiveBackend,
+    get_backend,
+    get_default_backend,
+    query_fingerprint,
+    set_default_backend,
+    use_backend,
+)
+from repro.exceptions import ReproError
+from repro.queries.parser import parse_cq
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestEngineCache:
+    def test_plan_reuse_counts_as_hit(self):
+        cache = EngineCache()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        first = cache.plan(source, target, frozenset())
+        second = cache.plan(source, target, frozenset())
+        assert first is second
+        assert cache.plan_stats.hits == 1
+        assert cache.plan_stats.misses == 1
+
+    def test_different_fixed_sets_get_different_plans(self):
+        cache = EngineCache()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        unfixed = cache.plan(source, target, frozenset())
+        fixed = cache.plan(source, target, frozenset({x}))
+        assert unfixed is not fixed
+
+    def test_target_index_is_shared_across_sources(self):
+        cache = EngineCache()
+        target = (Atom("R", (a, b)),)
+        plan_one = cache.plan((Atom("R", (x, y)),), target, frozenset())
+        plan_two = cache.plan((Atom("R", (x, x)),), target, frozenset())
+        assert plan_one.index is plan_two.index
+
+    def test_result_memoisation(self):
+        cache = EngineCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 7
+
+        assert cache.result(("count", "key"), compute) == 7
+        assert cache.result(("count", "key"), compute) == 7
+        assert len(calls) == 1
+        assert cache.result_stats.hits == 1
+
+    def test_invalidate_by_target(self):
+        cache = EngineCache()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        other = (Atom("R", (b, a)),)
+        cache.plan(source, target, frozenset())
+        cache.plan(source, other, frozenset())
+        dropped = cache.invalidate(target)
+        assert dropped == 2  # the plan and its index
+        cache.plan(source, other, frozenset())
+        assert cache.plan_stats.hits == 1  # the untouched target still hits
+
+    def test_invalidate_everything(self):
+        cache = EngineCache()
+        cache.plan((Atom("R", (x, y)),), (Atom("R", (a, b)),), frozenset())
+        assert cache.invalidate() >= 1
+        cache.plan((Atom("R", (x, y)),), (Atom("R", (a, b)),), frozenset())
+        assert cache.plan_stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = EngineCache(max_plans=2)
+        targets = [(Atom("R", (Constant(f"c{i}"), b)),) for i in range(3)]
+        for target in targets:
+            cache.plan((Atom("R", (x, y)),), target, frozenset())
+        assert cache.plan_stats.evictions == 1
+
+    def test_describe_reports_all_layers(self):
+        cache = EngineCache()
+        text = cache.describe()
+        assert "plans" in text and "indexes" in text and "results" in text
+
+
+class TestQueryFingerprint:
+    def test_invariant_under_renaming(self):
+        q1 = parse_cq("q(x) <- R(x, y), S(y)")
+        q2 = parse_cq("q(u) <- R(u, v), S(v)")
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+
+    def test_distinguishes_structure(self):
+        q1 = parse_cq("q(x) <- R(x, y)")
+        q2 = parse_cq("q(x) <- R(x, x)")
+        assert query_fingerprint(q1) != query_fingerprint(q2)
+
+    def test_distinguishes_multiplicities(self):
+        q1 = parse_cq("q(x) <- R(x, y)")
+        q2 = parse_cq("q(x) <- R^2(x, y)")
+        assert query_fingerprint(q1) != query_fingerprint(q2)
+
+    def test_invariant_under_renamings_that_reorder_tied_atoms(self):
+        # The swap x<->y reverses the name-based atom order; the canonical
+        # search must still land on one fingerprint for the class.
+        q1 = parse_cq("q(x) <- R(x, y), R(y, x)")
+        q2 = q1.rename_variables({Variable("x"): Variable("b"), Variable("y"): Variable("a")})
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+        q3 = parse_cq("q(u) <- R(y, u), R(z, u), R(z, x)")
+        q4 = q3.rename_variables(
+            {Variable("y"): Variable("z"), Variable("z"): Variable("y")}
+        )
+        assert query_fingerprint(q3) == query_fingerprint(q4)
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert isinstance(get_backend("naive"), NaiveBackend)
+        assert isinstance(get_backend("indexed"), IndexedBackend)
+        with pytest.raises(ReproError):
+            get_backend("quantum")
+
+    def test_default_backend_is_indexed(self):
+        assert get_default_backend().name == "indexed"
+
+    def test_use_backend_restores_the_previous_default(self):
+        assert get_default_backend().name == "indexed"
+        with use_backend("naive") as backend:
+            assert backend.name == "naive"
+            assert get_default_backend().name == "naive"
+        assert get_default_backend().name == "indexed"
+
+    def test_set_default_backend_returns_previous(self):
+        previous = set_default_backend("naive")
+        try:
+            assert previous == "indexed"
+            assert get_default_backend().name == "naive"
+        finally:
+            set_default_backend(previous)
+
+    def test_set_default_backend_rejects_unknown(self):
+        with pytest.raises(ReproError):
+            set_default_backend("quantum")
+
+
+class TestBackendAgreement:
+    SOURCE = [Atom("R", (x, y)), Atom("R", (y, z))]
+    TARGET = [Atom("R", (a, b)), Atom("R", (b, a)), Atom("R", (b, b))]
+
+    def test_iterate_agrees(self):
+        naive = sorted(repr(s) for s in get_backend("naive").iterate(self.SOURCE, self.TARGET))
+        indexed = sorted(repr(s) for s in get_backend("indexed").iterate(self.SOURCE, self.TARGET))
+        assert naive == indexed
+
+    def test_count_and_exists_agree(self):
+        naive = get_backend("naive")
+        indexed = get_backend("indexed")
+        assert naive.count(self.SOURCE, self.TARGET) == indexed.count(self.SOURCE, self.TARGET)
+        assert naive.exists(self.SOURCE, self.TARGET) == indexed.exists(self.SOURCE, self.TARGET)

@@ -1,0 +1,98 @@
+"""Unit tests for the iterative executor: modes, stats, and early exit."""
+
+from repro.engine import get_backend
+from repro.engine.executor import (
+    ExecutionStats,
+    execute_count,
+    execute_exists,
+    execute_iterate,
+)
+from repro.engine.plan import compile_plan
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def _path_facts(n: int) -> list[Atom]:
+    nodes = [Constant(f"n{i}") for i in range(n + 1)]
+    return [Atom("R", (nodes[i], nodes[i + 1])) for i in range(n)]
+
+
+class TestModes:
+    def test_iterate_yields_substitutions_with_fixed_included(self):
+        plan = compile_plan([Atom("R", (x, y))], [Atom("R", (a, b))], fixed_variables=[x])
+        (solution,) = list(execute_iterate(plan, {x: a}))
+        assert solution.apply_term(x) == a
+        assert solution.apply_term(y) == b
+
+    def test_count_matches_iterate(self):
+        facts = _path_facts(6)
+        plan = compile_plan([Atom("R", (x, y)), Atom("R", (y, z))], facts)
+        assert execute_count(plan) == len(list(execute_iterate(plan))) == 5
+
+    def test_exists_on_empty_target(self):
+        plan = compile_plan([Atom("R", (x, y))], [])
+        assert execute_exists(plan) is False
+        assert execute_count(plan) == 0
+
+    def test_empty_source_yields_the_fixed_bindings_once(self):
+        plan = compile_plan([], [Atom("R", (a, b))])
+        solutions = list(execute_iterate(plan, {x: a}))
+        assert len(solutions) == 1
+        assert solutions[0].apply_term(x) == a
+
+    def test_repeated_variable_within_atom(self):
+        plan = compile_plan([Atom("R", (x, x))], [Atom("R", (a, b)), Atom("R", (b, b))])
+        (solution,) = list(execute_iterate(plan))
+        assert solution.apply_term(x) == b
+
+
+class TestEarlyExit:
+    def test_exists_stops_at_the_first_solution(self):
+        # 50 facts, 50 solutions: exists must not visit them all.
+        facts = [Atom("R", (Constant(f"u{i}"), Constant(f"v{i}"))) for i in range(50)]
+        plan = compile_plan([Atom("R", (x, y))], facts)
+        stats = ExecutionStats()
+        assert execute_exists(plan, stats=stats)
+        assert stats.candidates_tried == 1
+        assert stats.solutions_found == 1
+
+    def test_count_visits_everything(self):
+        facts = [Atom("R", (Constant(f"u{i}"), Constant(f"v{i}"))) for i in range(50)]
+        plan = compile_plan([Atom("R", (x, y))], facts)
+        stats = ExecutionStats()
+        assert execute_count(plan, stats=stats) == 50
+        assert stats.candidates_tried == 50
+
+    def test_has_homomorphism_routes_through_exists_mode(self):
+        """Regression: ``has_homomorphism`` must not enumerate all solutions.
+
+        The pre-engine implementation built full substitutions and took the
+        first; with a join producing quadratically many homomorphisms the
+        exists mode must touch a bounded prefix of the search only.
+        """
+        from repro.evaluation.homomorphisms import count_homomorphisms, has_homomorphism
+
+        hub = Constant("hub")
+        facts = [Atom("R", (hub, Constant(f"s{i}"))) for i in range(40)]
+        facts += [Atom("S", (hub, Constant(f"t{i}"))) for i in range(40)]
+        source = [Atom("R", (x, y)), Atom("S", (x, z))]
+
+        backend = get_backend("indexed")
+        assert backend.stats is not None
+        before = backend.stats.candidates_tried
+        assert has_homomorphism(source, facts)
+        tried = backend.stats.candidates_tried - before
+        # 1600 homomorphisms exist; the early exit needs one per join level.
+        assert count_homomorphisms(source, facts) == 1600
+        assert tried <= len(source) + 1
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        first = ExecutionStats(candidates_tried=2, solutions_found=1, executions=1)
+        second = ExecutionStats(candidates_tried=3, solutions_found=0, executions=1)
+        first.merge(second)
+        assert (first.candidates_tried, first.solutions_found, first.executions) == (5, 1, 2)

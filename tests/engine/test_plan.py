@@ -1,0 +1,99 @@
+"""Unit tests for match-plan compilation (join templates and target indexes)."""
+
+import pytest
+
+from repro.engine.plan import TargetIndex, compile_plan, compile_template
+from repro.exceptions import ReproError
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestCompileTemplate:
+    def test_deduplicates_source_atoms(self):
+        template = compile_template([Atom("R", (x, y)), Atom("R", (x, y))])
+        assert template.num_steps == 1
+
+    def test_every_source_atom_is_scheduled_once(self):
+        source = [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (z,))]
+        template = compile_template(source)
+        assert sorted(str(step.atom) for step in template.steps) == sorted(str(atom) for atom in source)
+
+    def test_fixed_variables_count_as_bound(self):
+        template = compile_template([Atom("R", (x, y))], fixed_variables=[x])
+        (step,) = template.steps
+        assert step.signature == (0,)
+        assert [variable for _, variable in step.new_var_positions] == [y]
+
+    def test_constants_count_as_bound(self):
+        template = compile_template([Atom("R", (a, y))])
+        (step,) = template.steps
+        assert step.signature == (0,)
+
+    def test_later_steps_see_earlier_bindings(self):
+        # Whatever order is chosen for a chain, the second step must have the
+        # shared variable in its signature.
+        template = compile_template([Atom("R", (x, y)), Atom("R", (y, z))])
+        second = template.steps[1]
+        assert second.signature, "the join variable of the second step should be bound"
+
+    def test_fail_first_prefers_smaller_relations(self):
+        sizes = {("Big", 2): 100, ("Small", 2): 1}
+        template = compile_template(
+            [Atom("Big", (x, y)), Atom("Small", (x, y))], relation_sizes=sizes
+        )
+        assert template.steps[0].relation == "Small"
+
+    def test_describe_mentions_every_step(self):
+        template = compile_template([Atom("R", (x, y)), Atom("S", (y, z))])
+        text = template.describe()
+        assert "step 0" in text and "step 1" in text
+
+
+class TestTargetIndex:
+    def test_buckets_by_relation_and_arity(self):
+        index = TargetIndex([Atom("R", (a, b)), Atom("R", (a,)), Atom("S", (b, c))])
+        assert len(index.bucket("R", 2)) == 1
+        assert len(index.bucket("R", 1)) == 1
+        assert len(index.bucket("S", 2)) == 1
+        assert len(index.bucket("R", 3)) == 0
+
+    def test_signature_lookup(self):
+        index = TargetIndex([Atom("R", (a, b)), Atom("R", (a, c)), Atom("R", (b, c))])
+        hits = index.candidates("R", 2, (0,), (a,))
+        assert {atom.terms[1] for atom in hits} == {b, c}
+        assert index.candidates("R", 2, (0,), (c,)) == ()
+
+    def test_empty_signature_returns_full_bucket(self):
+        index = TargetIndex([Atom("R", (a, b)), Atom("R", (b, c))])
+        assert len(index.candidates("R", 2, (), ())) == 2
+
+    def test_deduplicates_target_atoms(self):
+        index = TargetIndex([Atom("R", (a, b)), Atom("R", (a, b))])
+        assert len(index) == 1
+
+
+class TestMatchPlan:
+    def test_describe_includes_target_statistics(self):
+        plan = compile_plan([Atom("R", (x, y))], [Atom("R", (a, b))])
+        assert "R/2:1" in plan.describe()
+
+    def test_rejects_unplanned_fixed_bindings(self):
+        plan = compile_plan([Atom("R", (x, y))], [Atom("R", (a, b))])
+        with pytest.raises(ReproError):
+            plan.check_fixed({x: a})
+
+    def test_accepts_planned_and_foreign_fixed_bindings(self):
+        plan = compile_plan([Atom("R", (x, y))], [Atom("R", (a, b))], fixed_variables=[x])
+        plan.check_fixed({x: a})
+        # Bindings for variables outside the source ride along harmlessly.
+        plan.check_fixed({x: a, Variable("unrelated"): b})
+
+    def test_rejects_missing_planned_fixed_bindings(self):
+        from repro.engine.executor import execute_count
+
+        plan = compile_plan([Atom("R", (x, y))], [Atom("R", (a, b))], fixed_variables=[x])
+        with pytest.raises(ReproError):
+            execute_count(plan)

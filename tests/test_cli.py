@@ -116,3 +116,40 @@ class TestOtherCommands:
     def test_parser_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestEngineFlags:
+    def test_naive_backend_gives_the_same_verdict(self, capsys):
+        args = [
+            "decide",
+            "q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)",
+            "q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)",
+        ]
+        assert main(["--engine-backend", "naive"] + args) == 0
+        naive_out = capsys.readouterr().out
+        assert main(["--engine-backend", "indexed"] + args) == 0
+        indexed_out = capsys.readouterr().out
+        assert naive_out == indexed_out
+
+    def test_backend_selection_is_restored_after_the_command(self):
+        from repro.engine import get_default_backend
+
+        main(["--engine-backend", "naive", "set-decide", "q1(x) <- R(x, x)", "q2(x) <- R(x, y)"])
+        assert get_default_backend().name == "indexed"
+
+    def test_engine_stats_are_printed(self, capsys):
+        code = main(["--engine-stats", "evaluate", "q(x) <- R(x, y)", "R(a,b)=2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "engine cache statistics" in captured.out
+        assert "plans" in captured.out
+
+    def test_engine_stats_are_printed_even_on_errors(self, capsys):
+        code = main(["--engine-stats", "decide", "q1(x) <- R(x, y)", "q2(x) <- R(x, x)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "engine cache statistics" in captured.out
+
+    def test_unknown_backend_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine-backend", "quantum", "set-decide", "a", "b"])
