@@ -1,0 +1,79 @@
+"""E12 — fuzz-campaign throughput: oracle cost breakdown and worker scaling.
+
+The differential-verification subsystem is only useful if a meaningful
+campaign fits in a CI minute, so this experiment measures
+
+* the per-combination cost of the oracle axes (strategy × Diophantine
+  path) on the built-in corpus — showing where a campaign's budget goes
+  (the bounded-guess enumeration dominates, which is why its candidate cap
+  is part of :class:`~repro.verify.oracles.OracleConfig`);
+* end-to-end campaign throughput (cases/second) inline vs. on a
+  2-worker pool, including shrink-free failure handling.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_e12_fuzz.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.verify.corpus import builtin_pairs
+from repro.verify.oracles import OracleConfig, run_differential_oracle
+from repro.verify.runner import CampaignConfig, run_campaign
+
+#: Cases for the throughput sweep — small enough for a CI smoke run.
+CAMPAIGN_CASES = 40
+
+
+def bench_oracle_axis_breakdown() -> dict[str, float]:
+    """Seconds per oracle run, per (strategy, path) axis, on the built-in corpus."""
+    pairs = builtin_pairs()
+    timings: dict[str, float] = {}
+    for strategy in ("most-general", "all-probes", "bounded-guess"):
+        paths = ("exact", "lp") if strategy != "bounded-guess" else ("exact",)
+        for path in paths:
+            config = OracleConfig(
+                strategies=(strategy,),
+                diophantine_paths=(path,),
+                refuter_trials=0,
+                refuter_max_multiplicity=0,
+                check_set_semantics=False,
+            )
+            for containee, containing in pairs:  # warm plan caches
+                run_differential_oracle(containee, containing, config)
+            start = time.perf_counter()
+            for containee, containing in pairs:
+                report = run_differential_oracle(containee, containing, config)
+                assert report.ok, report.describe()
+            timings[f"{strategy}/{path}"] = (time.perf_counter() - start) / len(pairs)
+    return timings
+
+
+def bench_campaign_throughput() -> dict[int, float]:
+    """Cases per second for inline and 2-worker campaigns over the same seed."""
+    rates: dict[int, float] = {}
+    for jobs in (1, 2):
+        config = CampaignConfig(cases=CAMPAIGN_CASES, seed=0, jobs=jobs, chunk_size=10)
+        start = time.perf_counter()
+        report = run_campaign(config)
+        elapsed = time.perf_counter() - start
+        assert report.ok, report.describe()
+        assert report.cases_run == CAMPAIGN_CASES
+        rates[jobs] = report.cases_run / elapsed
+    return rates
+
+
+def main() -> None:
+    print("E12 — fuzz-campaign throughput")
+    print()
+    print("oracle cost per pair, by axis (built-in corpus):")
+    for axis, seconds in sorted(bench_oracle_axis_breakdown().items(), key=lambda kv: kv[1]):
+        print(f"  {axis:<24} {seconds * 1000:8.2f} ms")
+    print()
+    print(f"campaign throughput ({CAMPAIGN_CASES} cases, full oracle axes):")
+    for jobs, rate in bench_campaign_throughput().items():
+        print(f"  jobs={jobs}: {rate:6.1f} cases/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,7 +28,7 @@ from repro.baselines import bounded_bag_refuter, cross_check, random_bag_refuter
 from repro.containment import (
     are_bag_set_equivalent,
     are_set_equivalent,
-    core,
+    core as minimal_core,  # `core` itself would shadow the repro.core subpackage
     decide_bag_set_containment,
     decide_set_containment,
     is_set_contained,
@@ -91,6 +91,15 @@ from repro.relational import (
     Substitution,
     Variable,
 )
+from repro.verify import (
+    CampaignConfig,
+    CampaignReport,
+    OracleConfig,
+    OracleReport,
+    run_campaign,
+    run_differential_oracle,
+    shrink_pair,
+)
 
 __version__ = "1.0.0"
 
@@ -100,6 +109,8 @@ __all__ = [
     "BagBatchEvaluator",
     "BagContainmentResult",
     "BagInstance",
+    "CampaignConfig",
+    "CampaignReport",
     "ConjunctiveQuery",
     "Constant",
     "ContainmentCounterexample",
@@ -110,6 +121,8 @@ __all__ = [
     "Monomial",
     "MonomialPolynomialInequality",
     "MpiEncoding",
+    "OracleConfig",
+    "OracleReport",
     "Polynomial",
     "QueryBuilder",
     "RelationSchema",
@@ -125,7 +138,7 @@ __all__ = [
     "compare",
     "compile_plan",
     "containment_mappings_many",
-    "core",
+    "minimal_core",
     "count_many",
     "cross_check",
     "decide_bag_containment",
@@ -147,7 +160,10 @@ __all__ = [
     "parse_ucq",
     "probe_tuples",
     "random_bag_refuter",
+    "run_campaign",
+    "run_differential_oracle",
     "set_default_backend",
+    "shrink_pair",
     "three_colorability_instance",
     "use_backend",
     "__version__",

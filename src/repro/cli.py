@@ -22,6 +22,13 @@ Sub-commands
     Compare two queries under both semantics in both directions and print
     the rewrite-safety verdict (``repro.core.spectrum``).
 
+``fuzz``
+    Run a differential fuzz campaign (``repro.verify``): generated and
+    metamorphically-mutated pairs are pushed through every decision
+    strategy, engine backend and Diophantine path; disagreements are
+    shrunk to minimal reproducers.  ``--save-corpus`` persists the
+    campaign for deterministic replay, ``--replay`` re-checks a corpus.
+
 Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
 e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
 
@@ -39,6 +46,9 @@ from typing import Sequence
 
 from repro.containment.set_containment import decide_set_containment
 from repro.core.decision import STRATEGIES, decide_bag_containment
+from repro.verify.corpus import replay_corpus, save_corpus
+from repro.verify.oracles import OracleConfig
+from repro.verify.runner import CampaignConfig, campaign_corpus, run_campaign
 from repro.core.encoding import encode_most_general
 from repro.core.spectrum import compare
 from repro.engine import BACKEND_NAMES, default_cache, use_backend
@@ -102,6 +112,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare_parser.add_argument("left", help="the first query")
     compare_parser.add_argument("right", help="the second query")
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="run a differential fuzz campaign over all decision paths"
+    )
+    fuzz.add_argument("--cases", type=int, default=200, help="number of generated cases")
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument("--jobs", type=int, default=1, help="worker processes (1 = inline)")
+    fuzz.add_argument(
+        "--strategies",
+        default=",".join(STRATEGIES),
+        help="comma-separated decision strategies to differential-test "
+        f"(default: {','.join(STRATEGIES)})",
+    )
+    fuzz.add_argument(
+        "--mutation-rate",
+        type=float,
+        default=0.5,
+        help="probability of applying a metamorphic mutation per case",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, help="stop after this many seconds"
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="do not minimize failing pairs"
+    )
+    fuzz.add_argument(
+        "--save-corpus", metavar="PATH", default=None, help="persist the campaign as a corpus"
+    )
+    fuzz.add_argument(
+        "--replay", metavar="PATH", default=None, help="replay a saved corpus instead of fuzzing"
+    )
 
     return parser
 
@@ -169,6 +210,40 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0 if spectrum.is_safe_substitution() else 1
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+
+    if args.replay is not None:
+        if args.save_corpus is not None:
+            raise CliError("--save-corpus cannot be combined with --replay")
+        failures = replay_corpus(args.replay, OracleConfig(strategies=strategies))
+        if not failures:
+            print(f"corpus {args.replay}: all entries replay clean")
+            return 0
+        print(f"corpus {args.replay}: {len(failures)} entries FAILED")
+        for entry, report in failures:
+            print(f"  {entry.case_id} ({entry.origin}):")
+            for discrepancy in report.discrepancies:
+                print(f"    {discrepancy.describe()}")
+        return 1
+
+    config = CampaignConfig(
+        cases=args.cases,
+        seed=args.seed,
+        jobs=args.jobs,
+        strategies=strategies,
+        mutation_rate=args.mutation_rate,
+        shrink_failures=not args.no_shrink,
+        time_budget=args.time_budget,
+    )
+    report = run_campaign(config)
+    print(report.describe())
+    if args.save_corpus is not None:
+        path = save_corpus(campaign_corpus(report), args.save_corpus)
+        print(f"corpus saved to {path} ({report.cases_run} entries)")
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by the ``bagcq`` console script and ``python -m repro``."""
     parser = build_parser()
@@ -179,6 +254,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _run_evaluate,
         "encode": _run_encode,
         "compare": _run_compare,
+        "fuzz": _run_fuzz,
     }
     stats_baseline = default_cache().snapshot() if args.engine_stats else None
     try:

@@ -44,7 +44,7 @@ from repro.diophantine.solver import (
     decide_mpi_via_lp,
     witness_from_linear_solution,
 )
-from repro.exceptions import ContainmentError
+from repro.exceptions import ContainmentError, EnumerationBudgetError
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.terms import Term
 
@@ -288,7 +288,7 @@ def decide_via_bounded_guess(
 
         candidate_count_estimate = (effective_bound + 1) ** dimension
         if candidate_count_estimate > max_candidates:
-            raise ContainmentError(
+            raise EnumerationBudgetError(
                 f"bounded-guess enumeration would inspect about {candidate_count_estimate} vectors "
                 f"(bound {effective_bound}, dimension {dimension}); "
                 "use the most-general strategy or lower the bound explicitly"

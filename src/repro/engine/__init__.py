@@ -50,7 +50,13 @@ from repro.engine.batch import (
     count_many,
     evaluate_bag_many,
 )
-from repro.engine.cache import CacheStats, EngineCache
+from repro.engine.cache import (
+    CacheStats,
+    EngineCache,
+    describe_snapshot,
+    merge_snapshots,
+    snapshot_delta,
+)
 from repro.engine.executor import (
     ExecutionStats,
     execute_count,
@@ -88,6 +94,7 @@ __all__ = [
     "count_homomorphisms",
     "count_many",
     "default_cache",
+    "describe_snapshot",
     "evaluate_bag_many",
     "execute_count",
     "execute_exists",
@@ -97,7 +104,9 @@ __all__ = [
     "has_homomorphism",
     "instance_fingerprint",
     "iterate_homomorphisms",
+    "merge_snapshots",
     "query_fingerprint",
     "set_default_backend",
+    "snapshot_delta",
     "use_backend",
 ]

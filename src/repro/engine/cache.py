@@ -32,7 +32,7 @@ from repro.engine.plan import JoinTemplate, MatchPlan, TargetIndex, compile_plan
 from repro.relational.atoms import Atom
 from repro.relational.terms import Variable
 
-__all__ = ["CacheStats", "EngineCache"]
+__all__ = ["CacheStats", "EngineCache", "describe_snapshot", "merge_snapshots", "snapshot_delta"]
 
 
 @dataclass
@@ -54,6 +54,46 @@ class CacheStats:
 
     def describe(self) -> str:
         return f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%}), {self.evictions} evicted"
+
+
+def snapshot_delta(
+    after: Mapping[str, tuple[int, int, int]], before: Mapping[str, tuple[int, int, int]]
+) -> dict[str, tuple[int, int, int]]:
+    """What one stretch of work did: ``after − before``, per cache layer.
+
+    Both arguments are :meth:`EngineCache.snapshot` dictionaries; layers
+    missing from *before* count from zero.
+    """
+    return {
+        layer: tuple(value - before.get(layer, (0, 0, 0))[index] for index, value in enumerate(counts))
+        for layer, counts in after.items()
+    }
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, tuple[int, int, int]]]
+) -> dict[str, tuple[int, int, int]]:
+    """Sum per-layer ``(hits, misses, evictions)`` across many snapshots.
+
+    This is the aggregation hook the parallel fuzz runner uses: each worker
+    process reports the snapshot delta of its own process-wide cache, and
+    the campaign report presents the fleet-wide totals.
+    """
+    totals: dict[str, list[int]] = {}
+    for snapshot in snapshots:
+        for layer, counts in snapshot.items():
+            bucket = totals.setdefault(layer, [0, 0, 0])
+            for index, value in enumerate(counts):
+                bucket[index] += value
+    return {layer: tuple(bucket) for layer, bucket in totals.items()}
+
+
+def describe_snapshot(snapshot: Mapping[str, tuple[int, int, int]]) -> str:
+    """Render a snapshot (typically a merged delta) as the usual stats lines."""
+    lines = []
+    for layer, (hits, misses, evictions) in snapshot.items():
+        lines.append(f"{layer:<8} {CacheStats(hits=hits, misses=misses, evictions=evictions).describe()}")
+    return "\n".join(lines)
 
 
 class _LruLayer:

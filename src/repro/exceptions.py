@@ -74,6 +74,11 @@ class ContainmentError(ReproError):
     """Errors raised by the containment decision procedures."""
 
 
+class EnumerationBudgetError(ContainmentError):
+    """The bounded-guess strategy refused to enumerate: the candidate-vector
+    count implied by the solution-size bound exceeds the caller's budget."""
+
+
 class CertificateError(ContainmentError):
     """A counterexample certificate failed to verify, which indicates an
     internal inconsistency of the decision procedure."""
@@ -81,6 +86,11 @@ class CertificateError(ContainmentError):
 
 class WorkloadError(ReproError):
     """Errors raised by the workload generators."""
+
+
+class VerifyError(ReproError):
+    """Errors raised by the differential-verification subsystem (bad oracle
+    or campaign configuration, malformed corpus files)."""
 
 
 class CliError(ReproError):

@@ -34,6 +34,8 @@ __all__ = [
     "atom_from_dict",
     "query_to_dict",
     "query_from_dict",
+    "pair_to_dict",
+    "pair_from_dict",
     "ucq_to_dict",
     "ucq_from_dict",
     "set_instance_to_dict",
@@ -164,6 +166,22 @@ def query_from_dict(document: dict[str, Any]) -> ConjunctiveQuery:
         atom_from_dict(entry["atom"]): int(entry["multiplicity"]) for entry in document["body"]
     }
     return ConjunctiveQuery(tuple(head), body, name=document.get("name", "q"))
+
+
+def pair_to_dict(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> dict[str, Any]:
+    """Encode a (containee, containing) containment pair."""
+    return {
+        "kind": "pair",
+        "containee": query_to_dict(containee),
+        "containing": query_to_dict(containing),
+    }
+
+
+def pair_from_dict(document: dict[str, Any]) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """Decode a (containee, containing) containment pair."""
+    if document.get("kind") != "pair":
+        raise SerializationError(f"expected a pair document, got {document.get('kind')!r}")
+    return query_from_dict(document["containee"]), query_from_dict(document["containing"])
 
 
 def ucq_to_dict(ucq: UnionOfConjunctiveQueries) -> dict[str, Any]:

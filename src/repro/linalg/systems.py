@@ -21,6 +21,7 @@ of the rows plus positivity, as requested.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import lcm
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import DimensionMismatchError, LinearSystemError
@@ -32,7 +33,7 @@ __all__ = ["HomogeneousStrictSystem"]
 class HomogeneousStrictSystem:
     """An immutable system of strict homogeneous inequalities ``row · ε > 0``."""
 
-    __slots__ = ("_rows", "_dimension")
+    __slots__ = ("_rows", "_dimension", "_integer_rows")
 
     def __init__(self, rows: Iterable[Sequence[object]], dimension: int | None = None) -> None:
         converted: list[tuple[Fraction, ...]] = [as_fraction_vector(row) for row in rows]
@@ -51,6 +52,7 @@ class HomogeneousStrictSystem:
                 )
         self._rows: tuple[tuple[Fraction, ...], ...] = tuple(converted)
         self._dimension = dimension
+        self._integer_rows: tuple[tuple[int, ...], ...] | None = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -106,12 +108,37 @@ class HomogeneousStrictSystem:
         """The values ``row · vector`` for every row."""
         return tuple(dot(row, vector) for row in self._rows)
 
+    def integer_rows(self) -> tuple[tuple[int, ...], ...]:
+        """Each row scaled by the (positive) lcm of its denominators.
+
+        Scaling a row by a positive rational preserves the sign of its dot
+        product with any vector, so these rows decide ``row · ε > 0`` with
+        pure machine-integer arithmetic — the hot path of the bounded-guess
+        vector enumeration.
+        """
+        if self._integer_rows is None:
+            scaled = []
+            for row in self._rows:
+                multiplier = lcm(*(coefficient.denominator for coefficient in row)) if row else 1
+                scaled.append(tuple(int(coefficient * multiplier) for coefficient in row))
+            self._integer_rows = tuple(scaled)
+        return self._integer_rows
+
     def is_solution(self, vector: Sequence[object]) -> bool:
         """``True`` when every row evaluates to a strictly positive value."""
         if len(vector) != self._dimension:
             raise DimensionMismatchError(
                 f"vector of size {len(vector)} supplied to a system of dimension {self._dimension}"
             )
+        if all(type(component) is int for component in vector):
+            for row in self.integer_rows():
+                total = 0
+                for coefficient, component in zip(row, vector):
+                    if coefficient:
+                        total += coefficient * component
+                if total <= 0:
+                    return False
+            return True
         return all(value > 0 for value in self.slack(vector))
 
     def violated_rows(self, vector: Sequence[object]) -> list[int]:

@@ -1,0 +1,157 @@
+"""Seeded corpus persistence: deterministic replay of fuzz findings.
+
+A corpus is a JSON file of :class:`CorpusEntry` records — (containee,
+containing) pairs with their provenance (which generator and seed produced
+them, which mutation was applied) and, when known, the consensus verdict
+the oracle established.  Campaigns write a corpus with ``--save-corpus``;
+:func:`replay_corpus` re-runs the differential oracle over every entry and
+flags both fresh discrepancies and verdict drift against the recorded
+``expected`` verdict, so a regression introduced by a later PR reproduces
+deterministically from the file alone.
+
+The ten hand-written pairs that seeded the original integration tests are
+exposed as :func:`builtin_pairs` — the corpus every campaign starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.io.json_codec import (
+    FORMAT_VERSION,
+    SerializationError,
+    dump_json,
+    load_json,
+    pair_from_dict,
+    pair_to_dict,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_cq
+from repro.verify.oracles import (
+    Discrepancy,
+    OracleConfig,
+    OracleReport,
+    run_differential_oracle,
+)
+
+__all__ = [
+    "BUILTIN_PAIR_TEXTS",
+    "CorpusEntry",
+    "builtin_pairs",
+    "entry_from_dict",
+    "entry_to_dict",
+    "load_corpus",
+    "replay_corpus",
+    "save_corpus",
+]
+
+#: The hand-written (containee, containing) pairs in parser syntax — the
+#: original spot-check suite, now the built-in seed corpus.
+BUILTIN_PAIR_TEXTS: tuple[tuple[str, str], ...] = (
+    ("q1(x) <- R(x, x)", "q2(x) <- R(x, x)"),
+    ("q1(x) <- R(x, x)", "q2(x) <- R^2(x, x)"),
+    ("q1(x) <- R^2(x, x)", "q2(x) <- R(x, x)"),
+    ("q1(x) <- R(x, x)", "q2(x) <- R(x, y)"),
+    ("q1(x) <- R(x, a)", "q2(x) <- R(x, y), R(x, a)"),
+    ("q1(x, y) <- R(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(y, z)"),
+    ("q1(x, y) <- R(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(z, x)"),
+    ("q1(x, y) <- R^2(x, y), S(y, x)", "q2(x, y) <- R(x, y), S(y, x)"),
+    ("q1(x) <- R(x, a), R(x, b)", "q2(x) <- R(x, y)"),
+    ("q1(x) <- R(x, a), R(x, b)", "q2(x) <- R(x, y), R(x, z)"),
+)
+
+
+def builtin_pairs() -> list[tuple[ConjunctiveQuery, ConjunctiveQuery]]:
+    """The hand-written seed pairs, parsed."""
+    return [(parse_cq(left), parse_cq(right)) for left, right in BUILTIN_PAIR_TEXTS]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One replayable case: a pair, its provenance and its expected verdict."""
+
+    case_id: str
+    origin: str
+    containee: ConjunctiveQuery
+    containing: ConjunctiveQuery
+    expected: bool | None = None
+    note: str = ""
+
+
+def entry_to_dict(entry: CorpusEntry) -> dict[str, Any]:
+    """Encode one corpus entry."""
+    return {
+        "kind": "corpus_entry",
+        "case_id": entry.case_id,
+        "origin": entry.origin,
+        "pair": pair_to_dict(entry.containee, entry.containing),
+        "expected": entry.expected,
+        "note": entry.note,
+    }
+
+
+def entry_from_dict(document: dict[str, Any]) -> CorpusEntry:
+    """Decode one corpus entry."""
+    if document.get("kind") != "corpus_entry":
+        raise SerializationError(
+            f"expected a corpus_entry document, got {document.get('kind')!r}"
+        )
+    containee, containing = pair_from_dict(document["pair"])
+    expected = document.get("expected")
+    return CorpusEntry(
+        case_id=str(document["case_id"]),
+        origin=str(document.get("origin", "")),
+        containee=containee,
+        containing=containing,
+        expected=None if expected is None else bool(expected),
+        note=str(document.get("note", "")),
+    )
+
+
+def save_corpus(entries: list[CorpusEntry], path: str | Path) -> Path:
+    """Persist a corpus to *path* (stable layout, replayable by case id)."""
+    document = {
+        "kind": "fuzz_corpus",
+        "version": FORMAT_VERSION,
+        "entries": [entry_to_dict(entry) for entry in entries],
+    }
+    return dump_json(document, path)
+
+
+def load_corpus(path: str | Path) -> list[CorpusEntry]:
+    """Load a corpus previously written by :func:`save_corpus`."""
+    document = load_json(path)
+    if document.get("kind") != "fuzz_corpus":
+        raise SerializationError(f"{path} is not a fuzz corpus file")
+    return [entry_from_dict(entry) for entry in document["entries"]]
+
+
+def replay_corpus(
+    path: str | Path, config: OracleConfig | None = None
+) -> list[tuple[CorpusEntry, OracleReport]]:
+    """Re-run the oracle over every corpus entry; return the failing ones.
+
+    An entry fails when the oracle reports a discrepancy *or* when the fresh
+    consensus verdict differs from the recorded ``expected`` verdict (the
+    drift is reported as an extra ``verdict-drift`` discrepancy on the
+    returned report).
+    """
+    failures: list[tuple[CorpusEntry, OracleReport]] = []
+    for entry in load_corpus(path):
+        report = run_differential_oracle(entry.containee, entry.containing, config)
+        if (
+            entry.expected is not None
+            and report.consensus is not None
+            and report.consensus != entry.expected
+        ):
+            drift = Discrepancy(
+                "verdict-drift",
+                f"corpus expected {'contained' if entry.expected else 'not contained'} "
+                f"but the oracle now answers {'contained' if report.consensus else 'not contained'}",
+            )
+            report = replace(report, discrepancies=report.discrepancies + (drift,))
+        if not report.ok:
+            failures.append((entry, report))
+    return failures

@@ -1,0 +1,185 @@
+"""Metamorphic mutations with provable verdict-transfer rules.
+
+Each mutation rewrites a (containee, containing) pair into a related pair
+whose bag-containment verdict is *constrained* by the original verdict.
+The constraint is one of three :data:`TransferRule` values, each backed by
+a small theorem about Equation 2 (answers are sums over homomorphisms of
+products of fact multiplicities raised to body exponents):
+
+``equal`` — the mutation is semantics-preserving.
+    *Variable renaming* (one injective renaming applied to both queries)
+    produces an isomorphic pair — and, because the query constructor sorts
+    body atoms by their rendered form, renaming also permutes the canonical
+    atom order, so it doubles as the atom-permutation check.  *Head
+    permutation* (the same position shuffle applied to both heads) is a
+    bijection on answer tuples, so the universally quantified containment
+    statement is unchanged.
+
+``preserves-contained`` — ``q1 ⊑b q2`` implies the mutant is contained.
+    *Amplifying the containing query* by ``k`` turns each homomorphism
+    contribution ``c`` into ``c^k``; contributions are natural numbers, so
+    ``c^k ≥ c`` and the containing polynomial only grows.  *Self-join
+    duplication of the containing query* (conjoining a copy with its
+    existential variables renamed apart) squares the polynomial, and
+    ``P² ≥ P`` over the naturals.  *Constant freezing* (grounding one
+    shared head variable to a fresh constant on both sides) restricts the
+    quantification over answer tuples, so a universally-true containment
+    stays true.
+
+``preserves-not-contained`` — ``q1 ⋢b q2`` implies the mutant is not contained.
+    *Amplifying the containee* by ``k`` turns its monomial value ``M`` into
+    ``M^k``; a counterexample bag has ``M > P ≥ 0``, hence ``M ≥ 1`` and
+    ``M^k ≥ M > P``, so the same bag still witnesses the violation.
+
+A mutation may be inapplicable to a particular pair (e.g. constant freezing
+needs a shared head); ``apply`` then returns ``None`` and the campaign
+simply skips the metamorphic check for that case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Constant, Variable
+from repro.workloads.structured import amplified_query
+
+__all__ = [
+    "MUTATIONS",
+    "MetamorphicMutation",
+    "TransferRule",
+    "expected_verdict",
+    "mutation_by_name",
+]
+
+#: How the original verdict constrains the mutant's verdict.
+TransferRule = str  # "equal" | "preserves-contained" | "preserves-not-contained"
+
+Pair = tuple[ConjunctiveQuery, ConjunctiveQuery]
+
+
+@dataclass(frozen=True)
+class MetamorphicMutation:
+    """A named pair rewrite with its verdict-transfer rule."""
+
+    name: str
+    rule: TransferRule
+    apply: Callable[[ConjunctiveQuery, ConjunctiveQuery, random.Random], Pair | None]
+
+
+def expected_verdict(rule: TransferRule, original: bool) -> bool | None:
+    """The verdict the mutant *must* have, or ``None`` when unconstrained."""
+    if rule == "equal":
+        return original
+    if rule == "preserves-contained":
+        return True if original else None
+    if rule == "preserves-not-contained":
+        return None if original else False
+    raise ValueError(f"unknown transfer rule {rule!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Semantics-preserving mutations
+# --------------------------------------------------------------------------- #
+def _rename_variables(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair:
+    shared = sorted(containee.variables() | containing.variables(), key=str)
+    images = [Variable(f"v{index}") for index in range(len(shared))]
+    rng.shuffle(images)
+    renaming = dict(zip(shared, images))
+    return (
+        containee.rename_variables(renaming, name=containee.name),
+        containing.rename_variables(renaming, name=containing.name),
+    )
+
+
+def _permute_head(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair | None:
+    if containee.arity != containing.arity or containee.arity < 2:
+        return None
+    positions = list(range(containee.arity))
+    rng.shuffle(positions)
+    return (
+        containee.with_head(tuple(containee.head[index] for index in positions)),
+        containing.with_head(tuple(containing.head[index] for index in positions)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Containment-preserving mutations (True → True)
+# --------------------------------------------------------------------------- #
+def _amplify_containing(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair:
+    return containee, amplified_query(containing, rng.randint(2, 3), name=containing.name)
+
+
+def _self_join_containing(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair:
+    existentials = sorted(containing.existential_variables(), key=str)
+    # The copy's existentials must be renamed *apart*: fresh names may not
+    # collide with any variable of either query, or the copy would capture
+    # a shared variable and the P² transfer argument would not apply.
+    used = {variable.name for variable in containing.variables() | containee.variables()}
+    fresh = (Variable(f"w{index}") for index in range(len(used) + len(existentials)))
+    renaming = {
+        variable: image
+        for variable, image in zip(existentials, (v for v in fresh if v.name not in used))
+    }
+    copy = containing.rename_variables(renaming) if renaming else containing
+    body: dict[Atom, int] = dict(containing.body)
+    for atom, multiplicity in copy.body.items():
+        body[atom] = body.get(atom, 0) + multiplicity
+    return containee, ConjunctiveQuery(containing.head, body, name=containing.name)
+
+
+def _freeze_constant(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair | None:
+    if containee.head != containing.head or not containee.head:
+        return None
+    # Keep at least one head position so the pair stays non-boolean.
+    candidates = sorted(containee.head_variables(), key=str)
+    if len(candidates) < 2:
+        return None
+    variable = rng.choice(candidates)
+    frozen = Substitution({variable: Constant(f"frozen_{variable.name}")})
+    return (
+        containee.apply_substitution(frozen, name=containee.name),
+        containing.apply_substitution(frozen, name=containing.name),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Non-containment-preserving mutations (False → False)
+# --------------------------------------------------------------------------- #
+def _amplify_containee(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery, rng: random.Random
+) -> Pair:
+    return amplified_query(containee, rng.randint(2, 3), name=containee.name), containing
+
+
+#: The mutation registry, in campaign presentation order.
+MUTATIONS: tuple[MetamorphicMutation, ...] = (
+    MetamorphicMutation("rename-variables", "equal", _rename_variables),
+    MetamorphicMutation("permute-head", "equal", _permute_head),
+    MetamorphicMutation("amplify-containing", "preserves-contained", _amplify_containing),
+    MetamorphicMutation("self-join-containing", "preserves-contained", _self_join_containing),
+    MetamorphicMutation("freeze-constant", "preserves-contained", _freeze_constant),
+    MetamorphicMutation("amplify-containee", "preserves-not-contained", _amplify_containee),
+)
+
+
+def mutation_by_name(name: str) -> MetamorphicMutation:
+    """Look a mutation up by its registry name."""
+    for mutation in MUTATIONS:
+        if mutation.name == name:
+            return mutation
+    raise ValueError(f"unknown mutation {name!r}; expected one of {[m.name for m in MUTATIONS]}")

@@ -1,0 +1,200 @@
+"""A minimizing shrinker for failing (containee, containing) pairs.
+
+When a differential oracle flags a pair, the raw reproducer is usually
+noisy: spare atoms, incidental multiplicities, variables that play no role
+in the disagreement.  :func:`shrink_pair` is a greedy delta-debugging loop
+over structure-shrinking moves, each of which keeps the pair well-formed
+(containee projection-free, matching head arities, safe queries):
+
+1. **drop a containing atom** (when safety allows);
+2. **drop a containee atom**, removing orphaned variables from *both*
+   heads position-wise so the containee stays projection-free;
+3. **lower a multiplicity** by one (towards 1) on either side;
+4. **merge two variables** (one substitution applied to both queries);
+5. **merge two containing-only existential variables**.
+
+A candidate is accepted when the caller's *predicate* still holds (e.g.
+"the oracle still reports a discrepancy of the same kind"); the loop
+restarts from the first move after every acceptance and stops at a
+fixpoint, a round cap or a check budget.  The predicate is treated as
+untrusted: any exception it raises counts as "does not reproduce".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterator
+
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Variable
+
+__all__ = ["ShrinkResult", "shrink_pair"]
+
+Pair = tuple[ConjunctiveQuery, ConjunctiveQuery]
+Predicate = Callable[[ConjunctiveQuery, ConjunctiveQuery], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized pair plus bookkeeping about the shrink run."""
+
+    containee: ConjunctiveQuery
+    containing: ConjunctiveQuery
+    rounds: int
+    checks: int
+    original_size: tuple[int, int]
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """(containee atoms, containing atoms) after shrinking."""
+        return (len(self.containee.body_atoms()), len(self.containing.body_atoms()))
+
+    def describe(self) -> str:
+        return (
+            f"shrunk ({self.original_size[0]}, {self.original_size[1]}) -> {self.size} atoms "
+            f"in {self.rounds} rounds / {self.checks} checks:\n"
+            f"  {self.containee}\n  {self.containing}"
+        )
+
+
+def _safe_query(
+    head: tuple[Variable, ...], body: dict, name: str
+) -> ConjunctiveQuery | None:
+    """Build a query, or ``None`` when the candidate is ill-formed."""
+    try:
+        return ConjunctiveQuery(head, body, name=name)
+    except Exception:  # noqa: BLE001 - an ill-formed candidate is just skipped
+        return None
+
+
+def _drop_containing_atoms(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> Iterator[Pair]:
+    body = containing.body
+    if len(body) < 2:
+        return
+    for atom in containing.body_atoms():
+        remaining = {other: count for other, count in body.items() if other != atom}
+        candidate = _safe_query(containing.head, remaining, containing.name)
+        if candidate is not None:
+            yield containee, candidate
+
+
+def _drop_containee_atoms(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> Iterator[Pair]:
+    body = containee.body
+    if len(body) < 2 or len(containing.head) != len(containee.head):
+        return
+    for atom in containee.body_atoms():
+        remaining = {other: count for other, count in body.items() if other != atom}
+        surviving = {variable for other in remaining for variable in other.variables()}
+        # Drop orphaned head positions from both heads so arities stay equal
+        # and the containee stays projection-free.
+        keep = [index for index, variable in enumerate(containee.head) if variable in surviving]
+        new_containee = _safe_query(
+            tuple(containee.head[index] for index in keep), remaining, containee.name
+        )
+        new_containing = _safe_query(
+            tuple(containing.head[index] for index in keep), containing.body, containing.name
+        )
+        if new_containee is not None and new_containing is not None:
+            yield new_containee, new_containing
+
+
+def _lower_multiplicities(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> Iterator[Pair]:
+    for query, other, containee_side in (
+        (containee, containing, True),
+        (containing, containee, False),
+    ):
+        for atom, multiplicity in query.body.items():
+            if multiplicity <= 1:
+                continue
+            lowered = dict(query.body)
+            lowered[atom] = multiplicity - 1
+            candidate = _safe_query(query.head, lowered, query.name)
+            if candidate is None:
+                continue
+            yield (candidate, other) if containee_side else (other, candidate)
+
+
+def _merge_variables(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> Iterator[Pair]:
+    variables = sorted(containee.variables(), key=str)
+    for keep, drop in combinations(variables, 2):
+        substitution = Substitution({drop: keep})
+        try:
+            yield (
+                containee.apply_substitution(substitution, name=containee.name),
+                containing.apply_substitution(substitution, name=containing.name),
+            )
+        except Exception:  # noqa: BLE001
+            continue
+
+
+def _merge_containing_existentials(
+    containee: ConjunctiveQuery, containing: ConjunctiveQuery
+) -> Iterator[Pair]:
+    existentials = sorted(containing.existential_variables(), key=str)
+    for keep, drop in combinations(existentials, 2):
+        substitution = Substitution({drop: keep})
+        try:
+            yield containee, containing.apply_substitution(substitution, name=containing.name)
+        except Exception:  # noqa: BLE001
+            continue
+
+
+#: Shrinking moves, biggest structural wins first.
+_MOVES = (
+    _drop_containing_atoms,
+    _drop_containee_atoms,
+    _merge_containing_existentials,
+    _merge_variables,
+    _lower_multiplicities,
+)
+
+
+def shrink_pair(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    predicate: Predicate,
+    max_rounds: int = 200,
+    max_checks: int = 2_000,
+) -> ShrinkResult:
+    """Greedily minimize a pair while *predicate* keeps holding.
+
+    The input pair is assumed to satisfy the predicate (callers normally
+    shrink a pair the oracle just flagged); if it does not, the input is
+    returned unchanged with zero rounds.
+    """
+    original_size = (len(containee.body_atoms()), len(containing.body_atoms()))
+    checks = 0
+
+    def holds(candidate_containee: ConjunctiveQuery, candidate_containing: ConjunctiveQuery) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return bool(predicate(candidate_containee, candidate_containing))
+        except Exception:  # noqa: BLE001 - a crashing predicate means "not reproduced"
+            return False
+
+    if not holds(containee, containing):
+        return ShrinkResult(containee, containing, 0, checks, original_size)
+
+    rounds = 0
+    while rounds < max_rounds and checks < max_checks:
+        rounds += 1
+        for move in _MOVES:
+            accepted = False
+            for candidate in move(containee, containing):
+                if checks >= max_checks:
+                    break
+                if candidate == (containee, containing):
+                    continue
+                if holds(*candidate):
+                    containee, containing = candidate
+                    accepted = True
+                    break
+            if accepted:
+                break
+        else:
+            break  # fixpoint: no move produced an accepted candidate
+
+    return ShrinkResult(containee, containing, rounds, checks, original_size)

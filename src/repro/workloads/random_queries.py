@@ -32,6 +32,7 @@ __all__ = [
     "random_query",
     "random_projection_free_query",
     "random_containment_pair",
+    "random_adversarial_pair",
     "random_unrelated_pair",
 ]
 
@@ -201,6 +202,58 @@ def random_containment_pair(
             containing_atoms[original] = containing_atoms.get(original, 0) + 1
 
     containing = ConjunctiveQuery(containee.head, containing_atoms, name="q2")
+    return containee, containing
+
+
+def random_adversarial_pair(
+    seed: int,
+    num_atoms: int = 3,
+    head_size: int = 2,
+    max_multiplicity: int = 2,
+    max_perturbation: int = 2,
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """A pair *near the containment boundary*: shared core, one perturbed multiplicity.
+
+    Both queries use the **same projection-free body** (the shared core);
+    then exactly one atom has its multiplicity bumped by ``1..max_perturbation``
+    on one side, chosen uniformly:
+
+    * bumping the **containee** tilts the pair towards non-containment (its
+      monomial gains a factor the polynomial lacks);
+    * bumping the **containing** query tilts it towards containment (the
+      identity mapping's contribution only grows).
+
+    Either way the two bodies differ in a single multiplicity, which is the
+    regime where the decision procedures have the least slack — the workload
+    differential fuzzing cares about most.  The generator guarantees:
+    identical atom sets, identical heads, a projection-free containee, and
+    exactly one atom with differing multiplicity.
+    """
+    rng = random.Random(seed)
+    config = RandomQueryConfig(
+        num_relations=2,
+        max_arity=2,
+        num_atoms=num_atoms,
+        num_variables=head_size,
+        num_constants=1,
+        max_multiplicity=max_multiplicity,
+        projection_free=True,
+        head_size=head_size,
+        name="q1",
+    )
+    core = random_query(config, seed=rng.randrange(2**30))
+    perturbed_atom = rng.choice(core.body_atoms())
+    delta = rng.randint(1, max_perturbation)
+    bumped = {
+        atom: multiplicity + (delta if atom == perturbed_atom else 0)
+        for atom, multiplicity in core.body.items()
+    }
+    if rng.random() < 0.5:
+        containee = ConjunctiveQuery(core.head, bumped, name="q1")
+        containing = ConjunctiveQuery(core.head, core.body, name="q2")
+    else:
+        containee = core
+        containing = ConjunctiveQuery(core.head, bumped, name="q2")
     return containee, containing
 
 

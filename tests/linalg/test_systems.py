@@ -72,3 +72,30 @@ class TestDerivedSystems:
         system = HomogeneousStrictSystem([[1, -3], [2, 2]])
         assert system.max_coefficient_sum() == 4
         assert HomogeneousStrictSystem([], dimension=2).max_coefficient_sum() == 0
+
+
+class TestIntegerFastPath:
+    def test_integer_rows_scale_away_denominators(self):
+        from fractions import Fraction
+
+        system = HomogeneousStrictSystem([[Fraction(1, 2), Fraction(-1, 3)], [1, 0]])
+        assert system.integer_rows() == ((3, -2), (1, 0))
+
+    def test_integer_and_fraction_paths_agree(self):
+        from fractions import Fraction
+        from itertools import product
+
+        system = HomogeneousStrictSystem(
+            [[Fraction(1, 2), Fraction(-1, 3), 0], [1, -1, 1], [0, 0, 1]]
+        )
+        for vector in product(range(4), repeat=3):
+            integer_verdict = system.is_solution(vector)
+            fraction_verdict = all(value > 0 for value in system.slack(vector))
+            assert integer_verdict == fraction_verdict
+
+    def test_non_integer_vectors_use_the_exact_path(self):
+        from fractions import Fraction
+
+        system = HomogeneousStrictSystem([[1, -1]])
+        assert system.is_solution((Fraction(1, 2), Fraction(1, 3)))
+        assert not system.is_solution((Fraction(1, 3), Fraction(1, 2)))

@@ -153,3 +153,87 @@ class TestEngineFlags:
     def test_unknown_backend_is_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--engine-backend", "quantum", "set-decide", "a", "b"])
+
+
+class TestFuzz:
+    def test_smoke_campaign_is_clean(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--cases", "6",
+                "--seed", "0",
+                "--strategies", "most-general,all-probes",
+                "--mutation-rate", "0",
+                "--no-shrink",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no discrepancies found" in captured.out
+        assert "6/6 cases" in captured.out
+
+    def test_save_and_replay_corpus(self, capsys, tmp_path):
+        corpus = str(tmp_path / "corpus.json")
+        code = main(
+            [
+                "fuzz",
+                "--cases", "4",
+                "--seed", "1",
+                "--strategies", "most-general",
+                "--mutation-rate", "0",
+                "--no-shrink",
+                "--save-corpus", corpus,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "corpus saved" in captured.out
+
+        code = main(["fuzz", "--replay", corpus])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "replay clean" in captured.out
+
+    def test_replay_of_a_drifted_corpus_fails(self, capsys, tmp_path):
+        import json
+
+        corpus = str(tmp_path / "drift.json")
+        main(
+            [
+                "fuzz",
+                "--cases", "3",
+                "--seed", "2",
+                "--strategies", "most-general",
+                "--mutation-rate", "0",
+                "--no-shrink",
+                "--save-corpus", corpus,
+            ]
+        )
+        capsys.readouterr()
+        document = json.loads(open(corpus).read())
+        flipped = False
+        for entry in document["entries"]:
+            if entry["expected"] is not None:
+                entry["expected"] = not entry["expected"]
+                flipped = True
+        assert flipped
+        open(corpus, "w").write(json.dumps(document))
+
+        code = main(["fuzz", "--replay", corpus])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "verdict-drift" in captured.out
+
+    def test_unknown_strategy_is_a_clean_error(self, capsys):
+        code = main(["fuzz", "--cases", "1", "--strategies", "telepathy"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_replay_rejects_save_corpus(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--replay", str(tmp_path / "c.json"), "--save-corpus", str(tmp_path / "d.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--save-corpus cannot be combined with --replay" in captured.err

@@ -1,0 +1,170 @@
+"""Unit tests for the metamorphic mutations and their transfer rules."""
+
+import random
+
+import pytest
+
+from repro.core.decision import decide_via_most_general_probe
+from repro.queries.parser import parse_cq
+from repro.verify.corpus import builtin_pairs
+from repro.verify.metamorphic import (
+    MUTATIONS,
+    expected_verdict,
+    mutation_by_name,
+)
+
+RULES = {mutation.name: mutation.rule for mutation in MUTATIONS}
+
+
+class TestRegistry:
+    def test_every_registered_mutation_is_retrievable(self):
+        for mutation in MUTATIONS:
+            assert mutation_by_name(mutation.name) is mutation
+
+    def test_unknown_mutation_name_raises(self):
+        with pytest.raises(ValueError):
+            mutation_by_name("teleport-atoms")
+
+    def test_expected_verdict_rules(self):
+        assert expected_verdict("equal", True) is True
+        assert expected_verdict("equal", False) is False
+        assert expected_verdict("preserves-contained", True) is True
+        assert expected_verdict("preserves-contained", False) is None
+        assert expected_verdict("preserves-not-contained", False) is False
+        assert expected_verdict("preserves-not-contained", True) is None
+        with pytest.raises(ValueError):
+            expected_verdict("bogus", True)
+
+
+class TestMutationShapes:
+    def test_rename_variables_is_verdict_preserving(self):
+        for index, (containee, containing) in enumerate(builtin_pairs()):
+            mutated = mutation_by_name("rename-variables").apply(
+                containee, containing, random.Random(index)
+            )
+            assert mutated is not None
+            original = decide_via_most_general_probe(containee, containing).contained
+            renamed = decide_via_most_general_probe(*mutated).contained
+            assert renamed == original
+
+    def test_rename_keeps_shared_variables_shared(self):
+        containee = parse_cq("q1(x, y) <- R(x, y)")
+        containing = parse_cq("q2(x, y) <- R(x, z), R(z, y)")
+        mutated = mutation_by_name("rename-variables").apply(
+            containee, containing, random.Random(0)
+        )
+        assert mutated is not None
+        new_containee, new_containing = mutated
+        assert new_containee.head == new_containing.head
+
+    def test_permute_head_is_inapplicable_on_narrow_or_mismatched_heads(self):
+        narrow = parse_cq("q1(x) <- R(x, a)")
+        assert mutation_by_name("permute-head").apply(narrow, narrow, random.Random(0)) is None
+
+    def test_permute_head_shuffles_both_heads_the_same_way(self):
+        containee = parse_cq("q1(x, y) <- R(x, y), S(y, x)")
+        containing = parse_cq("q2(u, v) <- R(u, v), S(v, w)")
+        # Find a seed whose shuffle actually swaps the two positions.
+        for seed in range(10):
+            mutated = mutation_by_name("permute-head").apply(
+                containee, containing, random.Random(seed)
+            )
+            assert mutated is not None
+            new_containee, new_containing = mutated
+            if new_containee.head != containee.head:
+                assert new_containee.head == tuple(reversed(containee.head))
+                assert new_containing.head == tuple(reversed(containing.head))
+                break
+        else:
+            pytest.fail("no seed produced a non-identity permutation")
+
+    def test_permute_head_preserves_the_verdict(self):
+        for index, (containee, containing) in enumerate(builtin_pairs()):
+            mutated = mutation_by_name("permute-head").apply(
+                containee, containing, random.Random(index)
+            )
+            if mutated is None:
+                continue
+            original = decide_via_most_general_probe(containee, containing).contained
+            assert decide_via_most_general_probe(*mutated).contained == original
+
+    def test_amplify_containing_preserves_containment(self):
+        for index, (containee, containing) in enumerate(builtin_pairs()):
+            if not decide_via_most_general_probe(containee, containing).contained:
+                continue
+            mutated = mutation_by_name("amplify-containing").apply(
+                containee, containing, random.Random(index)
+            )
+            assert mutated is not None
+            assert decide_via_most_general_probe(*mutated).contained
+
+    def test_amplify_containee_preserves_non_containment(self):
+        for index, (containee, containing) in enumerate(builtin_pairs()):
+            if decide_via_most_general_probe(containee, containing).contained:
+                continue
+            mutated = mutation_by_name("amplify-containee").apply(
+                containee, containing, random.Random(index)
+            )
+            assert mutated is not None
+            assert not decide_via_most_general_probe(*mutated).contained
+
+    def test_self_join_containing_squares_the_body(self):
+        containee = parse_cq("q1(x) <- R(x, x)")
+        containing = parse_cq("q2(x) <- R(x, y), S(y, x)")
+        mutated = mutation_by_name("self-join-containing").apply(
+            containee, containing, random.Random(0)
+        )
+        assert mutated is not None
+        _, doubled = mutated
+        assert doubled.degree() == 2 * containing.degree()
+        # The copy's existential variables are renamed apart.
+        assert len(doubled.existential_variables()) == 2
+
+    def test_self_join_fresh_names_avoid_existing_w_variables(self):
+        # A containing query that already uses w-named variables must not have
+        # its copy's existentials collide with them (variable capture).
+        containee = parse_cq("q1(w0) <- R(w0, w0)")
+        containing = parse_cq("q2(w0) <- R(w0, y)")
+        mutated = mutation_by_name("self-join-containing").apply(
+            containee, containing, random.Random(0)
+        )
+        assert mutated is not None
+        _, doubled = mutated
+        assert doubled.degree() == 2 * containing.degree()
+        # y and its fresh copy stay distinct existentials; w0 stays the head.
+        assert len(doubled.existential_variables()) == 2
+
+    def test_self_join_containing_preserves_containment(self):
+        for index, (containee, containing) in enumerate(builtin_pairs()):
+            if not decide_via_most_general_probe(containee, containing).contained:
+                continue
+            mutated = mutation_by_name("self-join-containing").apply(
+                containee, containing, random.Random(index)
+            )
+            assert mutated is not None
+            assert decide_via_most_general_probe(*mutated).contained
+
+    def test_freeze_constant_needs_a_shared_multi_variable_head(self):
+        single = parse_cq("q1(x) <- R(x, x)")
+        assert (
+            mutation_by_name("freeze-constant").apply(single, single, random.Random(0)) is None
+        )
+        mismatched = parse_cq("q2(y, x) <- R(x, y)")
+        wide = parse_cq("q1(x, y) <- R(x, y)")
+        assert (
+            mutation_by_name("freeze-constant").apply(wide, mismatched, random.Random(0)) is None
+        )
+
+    def test_freeze_constant_preserves_containment(self):
+        containee = parse_cq("q1(x, y) <- R(x, y), S(y, x)")
+        containing = parse_cq("q2(x, y) <- R(x, y), S(y, z)")
+        assert decide_via_most_general_probe(containee, containing).contained
+        for seed in range(4):
+            mutated = mutation_by_name("freeze-constant").apply(
+                containee, containing, random.Random(seed)
+            )
+            assert mutated is not None
+            new_containee, new_containing = mutated
+            assert new_containee.arity == new_containing.arity == 1
+            assert new_containee.is_projection_free()
+            assert decide_via_most_general_probe(new_containee, new_containing).contained

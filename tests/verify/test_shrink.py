@@ -1,0 +1,86 @@
+"""Unit tests for the delta-debugging shrinker."""
+
+from repro.queries.parser import parse_cq
+from repro.verify.shrink import shrink_pair
+
+
+class TestShrinkMechanics:
+    def test_non_reproducing_input_is_returned_unchanged(self):
+        containee = parse_cq("q1(x) <- R(x, x), S(x, x)")
+        containing = parse_cq("q2(x) <- R(x, x)")
+        result = shrink_pair(containee, containing, lambda a, b: False)
+        assert (result.containee, result.containing) == (containee, containing)
+        assert result.rounds == 0
+
+    def test_always_true_predicate_shrinks_to_single_atoms(self):
+        containee = parse_cq("q1(x, y) <- R^3(x, y), S(y, x), R(x, x), T(x, y)")
+        containing = parse_cq("q2(x, y) <- R(x, y), S(y, z), T(z, w), R(w, w)")
+        result = shrink_pair(containee, containing, lambda a, b: True)
+        assert result.size == (1, 1)
+        # Multiplicities were lowered to 1 as well.
+        assert set(result.containee.body.values()) == {1}
+
+    def test_shrinking_keeps_the_pair_well_formed(self):
+        containee = parse_cq("q1(x, y) <- R^2(x, y), S(y, x), R(x, a)")
+        containing = parse_cq("q2(x, y) <- R(x, y), S(y, z), R(x, w)")
+        seen = []
+
+        def predicate(left, right):
+            seen.append((left, right))
+            return True
+
+        result = shrink_pair(containee, containing, predicate)
+        for left, right in seen:
+            assert left.is_projection_free()
+            assert left.arity == right.arity
+        assert result.size <= (len(containee.body_atoms()), len(containing.body_atoms()))
+
+    def test_crashing_predicate_counts_as_not_reproduced(self):
+        containee = parse_cq("q1(x) <- R(x, x), S(x, x)")
+        containing = parse_cq("q2(x) <- R(x, x), S(x, x)")
+        calls = {"count": 0}
+
+        def predicate(left, right):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                return True  # the original reproduces
+            raise RuntimeError("boom")
+
+        result = shrink_pair(containee, containing, predicate)
+        assert (result.containee, result.containing) == (containee, containing)
+
+    def test_check_budget_is_respected(self):
+        containee = parse_cq("q1(x, y) <- R(x, y), S(y, x), T(x, x), U(y, y)")
+        containing = parse_cq("q2(x, y) <- R(x, y), S(y, x), T(x, x), U(y, y)")
+        result = shrink_pair(containee, containing, lambda a, b: True, max_checks=5)
+        assert result.checks <= 5
+
+
+class TestShrinkSemantics:
+    def test_shrinks_a_semantic_property_to_a_minimal_witness(self):
+        # Property: the containee mentions relation R with total multiplicity >= 2
+        # while the containing query still mentions R at all.
+        containee = parse_cq("q1(x, y) <- R^2(x, y), R(y, x), S(x, y), T(y, y)")
+        containing = parse_cq("q2(x, y) <- R(x, y), S(x, z), T(z, y)")
+
+        def predicate(left, right):
+            left_r = sum(m for a, m in left.body.items() if a.relation == "R")
+            right_r = sum(m for a, m in right.body.items() if a.relation == "R")
+            return left_r >= 2 and right_r >= 1
+
+        result = shrink_pair(containee, containing, predicate)
+        assert predicate(result.containee, result.containing)
+        assert result.size == (1, 1)  # a single R^2 atom vs a single R atom
+        assert result.describe().startswith("shrunk")
+
+    def test_orphaned_head_variables_are_dropped_from_both_heads(self):
+        containee = parse_cq("q1(x, y) <- R(x, x), S(y, y)")
+        containing = parse_cq("q2(u, v) <- R(u, u), S(v, v)")
+
+        def predicate(left, right):
+            return any(atom.relation == "R" for atom in left.body_atoms())
+
+        result = shrink_pair(containee, containing, predicate)
+        assert result.size == (1, 1)
+        assert result.containee.arity == result.containing.arity
+        assert result.containee.is_projection_free()

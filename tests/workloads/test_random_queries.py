@@ -79,3 +79,68 @@ class TestPairGenerators:
             assert containee.is_projection_free()
             assert len(containee.body_atoms()) >= 1
             assert len(containing.body_atoms()) >= 1
+
+
+class TestAdversarialPairs:
+    def test_is_deterministic_for_a_fixed_seed(self):
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        assert random_adversarial_pair(11) == random_adversarial_pair(11)
+
+    def test_shared_core_invariants(self):
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        for seed in range(30):
+            containee, containing = random_adversarial_pair(seed)
+            assert containee.is_projection_free()
+            assert containee.head == containing.head
+            # The bodies range over the same atoms...
+            assert containee.body_atoms() == containing.body_atoms()
+            # ...and differ in exactly one multiplicity.
+            differing = [
+                atom
+                for atom in containee.body_atoms()
+                if containee.multiplicity(atom) != containing.multiplicity(atom)
+            ]
+            assert len(differing) == 1
+
+    def test_perturbation_is_bounded_and_one_sided(self):
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        for seed in range(30):
+            containee, containing = random_adversarial_pair(seed, max_perturbation=2)
+            deltas = [
+                containee.multiplicity(atom) - containing.multiplicity(atom)
+                for atom in containee.body_atoms()
+            ]
+            nonzero = [delta for delta in deltas if delta != 0]
+            assert len(nonzero) == 1
+            assert 1 <= abs(nonzero[0]) <= 2
+
+    def test_both_perturbation_directions_occur(self):
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        directions = set()
+        for seed in range(40):
+            containee, containing = random_adversarial_pair(seed)
+            directions.add(containee.degree() > containing.degree())
+        assert directions == {True, False}
+
+    def test_pairs_sit_near_the_containment_boundary(self):
+        from repro.core.decision import decide_via_most_general_probe
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        verdicts = set()
+        for seed in range(25):
+            containee, containing = random_adversarial_pair(seed)
+            verdicts.add(decide_via_most_general_probe(containee, containing).contained)
+        # The workload must mix contained and non-contained pairs.
+        assert verdicts == {True, False}
+
+    def test_respects_shape_parameters(self):
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        for seed in range(10):
+            containee, containing = random_adversarial_pair(seed, num_atoms=4, head_size=3)
+            assert containee.arity == 3
+            assert len(containee.body_atoms()) <= 4 + 3  # atoms + safety plants
