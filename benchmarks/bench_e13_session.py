@@ -1,0 +1,114 @@
+"""E13 — session amortisation: ``Session.batch()`` vs one-shot calls.
+
+The session redesign claims that routing a request sweep through *one*
+session amortises work across the whole stream, whereas the service-naive
+pattern — a fresh session per request, as a stateless RPC handler would do —
+recompiles and re-decides everything per call.  Two mechanisms stack:
+
+* **plan reuse** (always on): repeated sources/targets hit the session
+  cache's compiled match plans and shared target indexes;
+* **decision memoisation** (``memoize=True``, the default): identical pure
+  requests are answered from the cache's result layer without re-running
+  the encode/solve pipeline at all — the cache-hot extreme every service
+  sees under production traffic.
+
+The headline assertion is that the memoised batch beats cold one-shot
+sessions by ≥3× on a repeated-pair sweep (measured much higher); the
+no-memo column isolates how much plan reuse alone buys when the Diophantine
+solve dominates.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_e13_session.py``)
+for the comparison table, or through pytest with the bench collection
+options used by the other experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.session import ContainmentRequest, Session
+from repro.workloads.structured import chain_containment_pair, star_containment_pair
+
+#: Minimum memoised-batch-over-one-shot speedup on the repeated-pair sweep.
+REQUIRED_REPEAT_SPEEDUP = 3.0
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock over *repeats* runs (the usual noise-robust timer)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _one_shot(requests: Sequence[ContainmentRequest]) -> list[bool | None]:
+    """The service-naive pattern: a fresh session (cold cache) per request."""
+    return [Session().decide(request).verdict for request in requests]
+
+
+def _batched(requests: Sequence[ContainmentRequest], memoize: bool) -> list[bool | None]:
+    """One session, one stream: work amortises across the whole sweep."""
+    session = Session(memoize=memoize)
+    return [outcome.verdict for outcome in session.batch(requests)]
+
+
+def repeated_pair_requests(copies: int) -> list[ContainmentRequest]:
+    containee, containing = star_containment_pair(3)
+    return [ContainmentRequest(containee, containing)] * copies
+
+
+def probe_family_requests(lengths: Sequence[int]) -> list[ContainmentRequest]:
+    requests = []
+    for length in lengths:
+        containee, containing = chain_containment_pair(length)
+        requests.append(ContainmentRequest(containee, containing, strategy="all-probes"))
+    return requests
+
+
+def _ab(requests: Sequence[ContainmentRequest]) -> tuple[float, float, float]:
+    expected = _one_shot(requests)
+    assert _batched(requests, memoize=False) == expected  # same verdicts, always
+    assert _batched(requests, memoize=True) == expected
+    one_shot = _best_of(lambda: _one_shot(requests))
+    plans_only = _best_of(lambda: _batched(requests, memoize=False))
+    memoised = _best_of(lambda: _batched(requests, memoize=True))
+    return one_shot, plans_only, memoised
+
+
+def bench_e13_session_batch() -> None:
+    print("E13 — Session.batch() amortisation vs repeated one-shot calls")
+    print(f"{'workload':<30} {'one-shot':>10} {'no-memo':>10} {'memoised':>10} {'speedup':>8}")
+
+    rows: list[tuple[str, float, float, float]] = []
+    for copies in (16, 64):
+        rows.append((f"repeated pair ×{copies}", *_ab(repeated_pair_requests(copies))))
+    rows.append(("probe-family sweep ×24", *_ab(probe_family_requests([1, 2, 3] * 8))))
+
+    for label, one_shot, plans_only, memoised in rows:
+        speedup = one_shot / memoised if memoised > 0 else float("inf")
+        print(
+            f"{label:<30} {one_shot * 1000:>8.2f}ms {plans_only * 1000:>8.2f}ms "
+            f"{memoised * 1000:>8.2f}ms {speedup:>7.1f}x"
+        )
+
+    _, one_shot, _, memoised = rows[1]
+    speedup = one_shot / memoised if memoised > 0 else float("inf")
+    assert speedup >= REQUIRED_REPEAT_SPEEDUP, (
+        f"Session.batch() must amortise repeated decisions: expected ≥{REQUIRED_REPEAT_SPEEDUP}x "
+        f"over cold one-shot sessions on the repeated-pair ×64 sweep, measured {speedup:.2f}x"
+    )
+
+    # The amortisation must be visible in the cache counters, not just time:
+    # from the second request on, the repeated sweep answers from the memo.
+    session = Session()
+    outcomes = list(session.batch(repeated_pair_requests(16)))
+    hits = sum(outcome.cache.get("results", (0, 0, 0))[0] for outcome in outcomes)
+    print(f"result memo over the ×16 sweep: {hits} hits ({len(outcomes)} requests)")
+    assert hits >= len(outcomes) - 1, "the batched sweep should be memo dominated"
+
+
+if __name__ == "__main__":
+    bench_e13_session_batch()

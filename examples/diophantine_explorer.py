@@ -19,13 +19,14 @@ Run with::
 
 from __future__ import annotations
 
+from repro import Session
 from repro.core.reductions import bag_for_polynomial_point, polynomial_pair_to_ucqs
 from repro.diophantine import Monomial, MonomialPolynomialInequality, Polynomial, decide_mpi
-from repro.evaluation.bag_evaluation import evaluate_bag_ucq
 from repro.linalg.fourier_motzkin import solve_strict_system
 
 
 def main() -> None:
+    session = Session(name="diophantine-explorer")
     names = ("u1", "u2", "u3")
 
     polynomial = Polynomial.from_terms([(1, (7, 0, 0)), (1, (5, 2, 0)), (1, (3, 0, 4))])
@@ -64,8 +65,8 @@ def main() -> None:
     left_ucq, right_ucq = polynomial_pair_to_ucqs(polynomial, Polynomial([monomial]))
     point = decision.witness
     bag = bag_for_polynomial_point(point)
-    left_value = evaluate_bag_ucq(left_ucq, bag)[()]
-    right_value = evaluate_bag_ucq(right_ucq, bag)[()]
+    left_value = session.evaluate(left_ucq, bag).value[()]
+    right_value = session.evaluate(right_ucq, bag).value[()]
     print("UCQ encoding sanity check at ξ:")
     print(f"    bag answer of the P-side UCQ : {left_value}")
     print(f"    bag answer of the M-side UCQ : {right_value}")

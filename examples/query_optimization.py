@@ -23,15 +23,17 @@ Run with::
 
 from __future__ import annotations
 
-from repro import decide_bag_containment, parse_cq
+from repro import Session, parse_cq
 from repro.containment.minimization import core
-from repro.containment.set_containment import are_set_equivalent
-from repro.core.decision import are_bag_equivalent
 from repro.evaluation.bag_evaluation import bag_multiplicity
 from repro.queries.printer import format_query
 
 
 def main() -> None:
+    # One session validates every rewrite: repeated checks against the same
+    # report query share its compiled match plans.
+    session = Session(name="rewrite-validator")
+
     # A projection-free reporting query: every joined column is returned.
     # The Sales/Customer join is accidentally written twice.
     report = parse_cq(
@@ -48,7 +50,11 @@ def main() -> None:
     rewritten = parse_cq("report_min(x_cust, x_item) <- Sales(x_cust, x_item), Customer(x_cust, x_cust)")
     print("set-minimised rewrite:")
     print("   ", format_query(rewritten))
-    print("set-equivalent?      ", are_set_equivalent(report, rewritten))
+    set_safe = (
+        session.decide(report, rewritten, semantics="set").verdict
+        and session.decide(rewritten, report, semantics="set").verdict
+    )
+    print("set-equivalent?      ", set_safe)
     print("core has", len(minimised.body_atoms()), "atoms (set semantics sees no difference)")
     print()
 
@@ -56,12 +62,12 @@ def main() -> None:
     # Bag semantics disagrees: the duplicate join squares the Sales
     # multiplicity, so the rewrite under-counts duplicated sales rows.
     # ------------------------------------------------------------------ #
-    forward = decide_bag_containment(report, rewritten)
-    backward = decide_bag_containment(rewritten, report)
-    print("report ⊑b rewrite:", forward.contained)
-    print("rewrite ⊑b report:", backward.contained)
-    if not forward.contained and forward.counterexample is not None:
-        cex = forward.counterexample
+    forward = session.decide(report, rewritten)
+    backward = session.decide(rewritten, report)
+    print("report ⊑b rewrite:", forward.verdict)
+    print("rewrite ⊑b report:", backward.verdict)
+    if not forward.verdict and forward.certificate is not None:
+        cex = forward.certificate
         print("regression witness:", cex.describe())
         left = bag_multiplicity(report, cex.bag, cex.probe)
         right = bag_multiplicity(rewritten, cex.bag, cex.probe)
@@ -79,7 +85,10 @@ def main() -> None:
     )
     print("reordered rewrite:")
     print("   ", format_query(reordered))
-    print("bag-equivalent to the original?", are_bag_equivalent(report, reordered))
+    safe = session.containment_spectrum(report, reordered)
+    print("bag-equivalent to the original?", safe.verdict)
+    print("spectrum:")
+    print("   ", safe.value.describe().replace("\n", "\n    "))
 
 
 if __name__ == "__main__":

@@ -1,12 +1,14 @@
-"""Quickstart: deciding bag containment of conjunctive queries.
+"""Quickstart: the session API for bag containment of conjunctive queries.
 
-This walkthrough mirrors Section 2 of the paper:
+This walkthrough mirrors Section 2 of the paper, driven entirely through a
+:class:`repro.Session` — the service facade every workload flows through:
 
 1. build conjunctive queries with repeated atoms (bag representation);
 2. evaluate them under bag semantics on a bag instance;
 3. decide set containment (Chandra-Merlin) and bag containment (the paper's
    Diophantine procedure) and inspect the counterexample certificate when
-   containment fails.
+   containment fails;
+4. stream a batch of requests through the session, sharing compiled plans.
 
 Run with::
 
@@ -15,12 +17,16 @@ Run with::
 
 from __future__ import annotations
 
-from repro import decide_bag_containment, decide_set_containment, evaluate_bag, parse_cq
+from repro import ContainmentRequest, Session, parse_cq
 from repro.queries.printer import format_answer_bag, format_bag_instance, format_query
 from repro.workloads.paper_examples import section2_bag, section2_q1, section2_q2, section2_q3
 
 
 def main() -> None:
+    # One session owns the engine backend, the plan cache and the limits;
+    # every decision and evaluation below shares its compiled state.
+    session = Session(name="quickstart")
+
     # ------------------------------------------------------------------ #
     # 1. Queries can be parsed from datalog syntax or built programmatically.
     # ------------------------------------------------------------------ #
@@ -32,36 +38,53 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     bag = section2_bag()
     print("bag instance:", format_bag_instance(bag))
-    answers = evaluate_bag(query, bag)
-    print("bag answer:", format_answer_bag(answers.items()))
+    answers = session.evaluate(query, bag)
+    print("bag answer:", format_answer_bag(answers.value.items()))
     print("  (the paper computes exactly {(c1,c2)^10, (c1,c5)^30})")
+    print(f"  [{answers.explain()}]")
     print()
 
     # ------------------------------------------------------------------ #
-    # 3. Set containment vs bag containment.
+    # 3. Set containment vs bag containment.  Every outcome uniformly
+    #    carries verdict + certificate + timing + cache statistics.
     # ------------------------------------------------------------------ #
     q1, q2, q3 = section2_q1(), section2_q2(), section2_q3()
     for containee, containing in [(q1, q2), (q2, q1), (q1, q3), (q2, q3)]:
-        set_result = decide_set_containment(containee, containing)
-        bag_result = decide_bag_containment(containee, containing)
+        set_outcome = session.decide(containee, containing, semantics="set")
+        bag_outcome = session.decide(containee, containing)
         print(
             f"{containee.name} vs {containing.name}: "
-            f"set containment {'holds' if set_result.contained else 'fails'}, "
-            f"bag containment {'holds' if bag_result.contained else 'fails'}"
+            f"set containment {'holds' if set_outcome.verdict else 'fails'}, "
+            f"bag containment {'holds' if bag_outcome.verdict else 'fails'}"
         )
-        if not bag_result.contained and bag_result.counterexample is not None:
-            print("   counterexample:", bag_result.counterexample.describe())
+        if not bag_outcome.verdict and bag_outcome.certificate is not None:
+            print("   counterexample:", bag_outcome.certificate.describe())
     print()
 
     # ------------------------------------------------------------------ #
     # 4. The Diophantine machinery is fully inspectable.
     # ------------------------------------------------------------------ #
-    result = decide_bag_containment(q2, q1)
+    result = session.decide(q2, q1).value
     encoding = result.encodings[0]
     print("Diophantine encoding of q2 ⊑b q1 at the most-general probe tuple:")
     print(encoding.describe())
     print()
     print("verdict:", result.explain())
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 5. Batches stream through one session: repeated pairs and probes
+    #    reuse the compiled match plans (watch the cache hit columns).
+    # ------------------------------------------------------------------ #
+    requests = [ContainmentRequest(a, b) for a in (q1, q2) for b in (q1, q2, q3)]
+    print("streaming", len(requests), "containment requests through the session:")
+    for outcome in session.batch(requests):
+        request = outcome.request
+        hits = sum(counts[0] for counts in outcome.cache.values())
+        print(
+            f"  {request.containee.name} ⊑b {request.containing.name}? "
+            f"{str(bool(outcome.verdict)):<5} ({outcome.elapsed * 1000:.2f}ms, {hits} cache hits)"
+        )
 
 
 if __name__ == "__main__":

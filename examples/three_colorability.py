@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import decide_bag_containment
+from repro import Session
 from repro.core.reductions import three_colorability_instance
 from repro.workloads.graphs import (
     bipartite_graph,
@@ -26,15 +26,21 @@ from repro.workloads.graphs import (
 )
 
 
+#: Every reduction instance targets the same triangle query, so deciding the
+#: whole gallery through one session reuses its compiled plans.
+SESSION = Session(name="three-colorability")
+
+
 def check(name: str, edges: list[tuple[object, object]]) -> None:
     """Decide 3-colourability both directly and through the bag-containment reduction."""
     expected = is_three_colorable(edges)
     containee, containing = three_colorability_instance(edges)
-    result = decide_bag_containment(containee, containing)
-    agreement = "agrees" if result.contained == expected else "DISAGREES"
+    outcome = SESSION.decide(containee, containing)
+    agreement = "agrees" if outcome.verdict == expected else "DISAGREES"
     print(
         f"{name:<22} vertices≈{len({v for e in edges for v in e}):>3} edges={len(edges):>3}  "
-        f"3-colourable={str(expected):<5} containment={str(result.contained):<5} ({agreement})"
+        f"3-colourable={str(expected):<5} containment={str(outcome.verdict):<5} "
+        f"({agreement}, {outcome.elapsed * 1000:.0f}ms)"
     )
 
 

@@ -21,10 +21,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import decide_bag_containment, parse_cq
+from repro import Session, parse_cq
 from repro.exceptions import NotProjectionFreeError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.printer import format_query
+
+#: The catalogue classifier runs every direction through one session, so all
+#: candidates share the compiled plans of the dashboard query.
+SESSION = Session(name="view-selection")
 
 
 def contained_or_none(containee: ConjunctiveQuery, containing: ConjunctiveQuery) -> bool | None:
@@ -35,7 +39,7 @@ def contained_or_none(containee: ConjunctiveQuery, containing: ConjunctiveQuery)
     fragment, which the classifier reports honestly.
     """
     try:
-        return decide_bag_containment(containee, containing).contained
+        return SESSION.decide(containee, containing).verdict
     except NotProjectionFreeError:
         return None
 
@@ -83,13 +87,13 @@ def main() -> None:
     for name, view in candidates.items():
         print(f"candidate {name}: {format_query(view)}")
         print("   ", classify(dashboard, view))
-        forward = decide_bag_containment(dashboard, view)
-        if not forward.contained and forward.counterexample is not None:
-            print("    missing-duplicates witness:", forward.counterexample.describe())
+        forward = SESSION.decide(dashboard, view)
+        if not forward.verdict and forward.certificate is not None:
+            print("    missing-duplicates witness:", forward.certificate.describe())
         if view.is_projection_free():
-            backward = decide_bag_containment(view, dashboard)
-            if not backward.contained and backward.counterexample is not None:
-                print("    extra-duplicates witness:  ", backward.counterexample.describe())
+            backward = SESSION.decide(view, dashboard)
+            if not backward.verdict and backward.certificate is not None:
+                print("    extra-duplicates witness:  ", backward.certificate.describe())
         print()
 
 

@@ -15,23 +15,24 @@ hardness reductions.
 
 Quick start
 -----------
->>> from repro import parse_cq, decide_bag_containment
+>>> from repro import Session, parse_cq
+>>> session = Session()
 >>> q1 = parse_cq("q1(x1, x2) <- R^2(x1, x2), P^3(x2, x2)")
 >>> q2 = parse_cq("q2(x1, x2) <- R^3(x1, x2), P^3(x2, x2)")
->>> decide_bag_containment(q1, q2).contained
+>>> session.decide(q1, q2).verdict
 True
->>> decide_bag_containment(q2, q1).contained
+>>> session.decide(q2, q1).verdict
 False
+
+The loose top-level functions of earlier releases (``decide_bag_containment``
+and friends) keep working as thin deprecation shims over a default module
+session; see the README's *Session API* section for the migration table.
 """
 
-from repro.baselines import bounded_bag_refuter, cross_check, random_bag_refuter
+from repro.baselines import bounded_bag_refuter, random_bag_refuter
 from repro.containment import (
-    are_bag_set_equivalent,
-    are_set_equivalent,
+    SetContainmentResult,
     core as minimal_core,  # `core` itself would shadow the repro.core subpackage
-    decide_bag_set_containment,
-    decide_set_containment,
-    is_set_contained,
 )
 from repro.core import (
     BagContainmentResult,
@@ -39,12 +40,6 @@ from repro.core import (
     ContainmentSpectrum,
     MpiEncoding,
     Relationship,
-    are_bag_equivalent,
-    compare,
-    decide_bag_containment,
-    encode,
-    encode_most_general,
-    is_bag_contained,
     most_general_probe_tuple,
     probe_tuples,
     three_colorability_instance,
@@ -63,17 +58,9 @@ from repro.engine import (
     containment_mappings_many,
     count_many,
     default_cache,
-    evaluate_bag_many,
     get_backend,
-    set_default_backend,
-    use_backend,
 )
-from repro.evaluation import (
-    AnswerBag,
-    evaluate_bag,
-    evaluate_bag_set,
-    evaluate_set,
-)
+from repro.evaluation import AnswerBag
 from repro.queries import (
     ConjunctiveQuery,
     QueryBuilder,
@@ -91,17 +78,56 @@ from repro.relational import (
     Substitution,
     Variable,
 )
+from repro.session import (
+    ContainmentRequest,
+    EvaluationRequest,
+    Limits,
+    MpiRequest,
+    Outcome,
+    Session,
+    backend_names,
+    current_session,
+    default_session,
+    register_backend,
+    register_strategy,
+    strategy_names,
+    use_session,
+)
+
+# The legacy service-style call paths live on as deprecation shims over the
+# default module session (repro.session.shims); calling one emits a
+# DeprecationWarning pointing at its Session replacement.
+from repro.session.shims import (
+    are_bag_equivalent,
+    are_bag_set_equivalent,
+    are_set_equivalent,
+    compare,
+    cross_check,
+    decide_bag_containment,
+    decide_bag_set_containment,
+    decide_set_containment,
+    encode,
+    encode_most_general,
+    evaluate_bag,
+    evaluate_bag_many,
+    evaluate_bag_set,
+    evaluate_set,
+    is_bag_contained,
+    is_set_contained,
+    run_campaign,
+    run_differential_oracle,
+    set_default_backend,
+    use_backend,
+)
 from repro.verify import (
     CampaignConfig,
     CampaignReport,
     OracleConfig,
     OracleReport,
-    run_campaign,
-    run_differential_oracle,
     shrink_pair,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnswerBag",
@@ -114,19 +140,26 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "ContainmentCounterexample",
+    "ContainmentRequest",
     "ContainmentSpectrum",
     "DatabaseSchema",
     "EngineCache",
+    "EvaluationRequest",
+    "Limits",
     "MatchPlan",
     "Monomial",
     "MonomialPolynomialInequality",
     "MpiEncoding",
+    "MpiRequest",
     "OracleConfig",
     "OracleReport",
+    "Outcome",
     "Polynomial",
     "QueryBuilder",
     "RelationSchema",
     "Relationship",
+    "Session",
+    "SetContainmentResult",
     "SetInstance",
     "Substitution",
     "UnionOfConjunctiveQueries",
@@ -134,18 +167,20 @@ __all__ = [
     "are_bag_equivalent",
     "are_bag_set_equivalent",
     "are_set_equivalent",
+    "backend_names",
     "bounded_bag_refuter",
     "compare",
     "compile_plan",
     "containment_mappings_many",
-    "minimal_core",
     "count_many",
     "cross_check",
+    "current_session",
     "decide_bag_containment",
     "decide_bag_set_containment",
     "decide_mpi",
     "decide_set_containment",
     "default_cache",
+    "default_session",
     "encode",
     "encode_most_general",
     "evaluate_bag",
@@ -155,16 +190,21 @@ __all__ = [
     "get_backend",
     "is_bag_contained",
     "is_set_contained",
+    "minimal_core",
     "most_general_probe_tuple",
     "parse_cq",
     "parse_ucq",
     "probe_tuples",
     "random_bag_refuter",
+    "register_backend",
+    "register_strategy",
     "run_campaign",
     "run_differential_oracle",
     "set_default_backend",
     "shrink_pair",
+    "strategy_names",
     "three_colorability_instance",
     "use_backend",
+    "use_session",
     "__version__",
 ]

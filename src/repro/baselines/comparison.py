@@ -48,18 +48,38 @@ def cross_check(
     random_trials: int = 100,
     seed: int | None = 0,
     strategy: str = "most-general",
+    session=None,
 ) -> AgreementReport:
     """Run the exact decider and every baseline on one pair and compare.
 
     Raises :class:`ContainmentError` when an inconsistency is detected, so
     tests can simply call this function on generated workloads.
+
+    All decisions run through a :class:`repro.session.Session` — the one
+    passed in, else the session active in the current context, else the
+    default module session — so repeated cross-checks share the session's
+    compiled plans and the exact decider and the baselines see the same
+    backend.  A backend explicitly selected in the context (``use_backend``
+    / ``set_default_backend``) without a session keeps governing the call:
+    the default session only takes over when the context made no choice.
     """
-    exact = decide_bag_containment(containee, containing, strategy=strategy)
-    set_contained = is_set_contained(containee, containing)
-    bounded = bounded_bag_refuter(containee, containing, max_multiplicity=max_multiplicity)
-    randomized = random_bag_refuter(
-        containee, containing, trials=random_trials, seed=seed
-    )
+    from contextlib import nullcontext
+
+    from repro.engine.backends import _ACTIVE_BACKEND
+    from repro.session.session import current_session, default_session
+
+    if session is None:
+        session = current_session()
+    if session is None and _ACTIVE_BACKEND.get() is None:
+        session = default_session()
+    context = session.activate() if session is not None else nullcontext()
+    with context:
+        exact = decide_bag_containment(containee, containing, strategy=strategy)
+        set_contained = is_set_contained(containee, containing)
+        bounded = bounded_bag_refuter(containee, containing, max_multiplicity=max_multiplicity)
+        randomized = random_bag_refuter(
+            containee, containing, trials=random_trials, seed=seed
+        )
 
     notes: list[str] = []
     consistent = True

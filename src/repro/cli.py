@@ -32,10 +32,13 @@ Sub-commands
 Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
 e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
 
-Global options select the homomorphism engine backend
-(``--engine-backend {naive,indexed}``; the compiled indexed engine is the
-default) and print the engine cache statistics after the command
-(``--engine-stats``), which is how the benchmarks A/B the two backends.
+Every command runs through one :class:`repro.session.Session` built for the
+invocation: the global options pick its engine backend
+(``--engine-backend``; the compiled indexed engine is the default) and
+print its engine-cache statistics after the command (``--engine-stats``),
+which is how the benchmarks A/B the two backends.  Backends and strategies
+registered through :mod:`repro.session.registry` before parser construction
+appear in the respective choice lists automatically.
 """
 
 from __future__ import annotations
@@ -44,19 +47,16 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.containment.set_containment import decide_set_containment
-from repro.core.decision import STRATEGIES, decide_bag_containment
-from repro.verify.corpus import replay_corpus, save_corpus
-from repro.verify.oracles import OracleConfig
-from repro.verify.runner import CampaignConfig, campaign_corpus, run_campaign
-from repro.core.encoding import encode_most_general
-from repro.core.spectrum import compare
-from repro.engine import BACKEND_NAMES, default_cache, use_backend
-from repro.evaluation.bag_evaluation import evaluate_bag
+from repro.core.decision import strategy_names
+from repro.engine import backend_names
 from repro.exceptions import CliError, ReproError
 from repro.queries.parser import parse_atom, parse_cq
 from repro.queries.printer import format_answer_bag, format_bag_instance, format_query
 from repro.relational.instances import BagInstance
+from repro.session import EvaluationRequest, MpiRequest, Session
+from repro.verify.corpus import replay_corpus, save_corpus
+from repro.verify.oracles import OracleConfig
+from repro.verify.runner import CampaignConfig, campaign_corpus
 
 __all__ = ["main", "build_parser"]
 
@@ -69,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine-backend",
-        choices=BACKEND_NAMES,
+        choices=backend_names(),
         default="indexed",
         help="homomorphism engine backend (default: indexed)",
     )
@@ -84,7 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     decide.add_argument("containee", help="the projection-free containee query q1")
     decide.add_argument("containing", help="the containing query q2")
     decide.add_argument(
-        "--strategy", choices=STRATEGIES, default="most-general", help="decision strategy"
+        "--strategy",
+        choices=strategy_names(),
+        default="most-general",
+        help="decision strategy",
     )
     decide.add_argument("--lp", action="store_true", help="use the scipy LP fast path")
     decide.add_argument("--verbose", action="store_true", help="print the full encoding")
@@ -121,9 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--jobs", type=int, default=1, help="worker processes (1 = inline)")
     fuzz.add_argument(
         "--strategies",
-        default=",".join(STRATEGIES),
+        default=",".join(strategy_names()),
         help="comma-separated decision strategies to differential-test "
-        f"(default: {','.join(STRATEGIES)})",
+        f"(default: {','.join(strategy_names())})",
     )
     fuzz.add_argument(
         "--mutation-rate",
@@ -165,52 +168,56 @@ def _parse_bag(fact_specs: Sequence[str]) -> BagInstance:
     return BagInstance(counts)
 
 
-def _run_decide(args: argparse.Namespace) -> int:
+def _run_decide(args: argparse.Namespace, session: Session) -> int:
     containee = parse_cq(args.containee)
     containing = parse_cq(args.containing)
-    result = decide_bag_containment(
-        containee, containing, strategy=args.strategy, use_lp=args.lp
+    outcome = session.decide(
+        containee,
+        containing,
+        strategy=args.strategy,
+        diophantine_path="lp" if args.lp else "exact",
     )
+    result = outcome.value
     print(result.explain())
     if args.verbose and result.encodings:
         print()
         print(result.encodings[-1].describe())
-    return 0 if result.contained else 1
+    return 0 if outcome.verdict else 1
 
 
-def _run_set_decide(args: argparse.Namespace) -> int:
+def _run_set_decide(args: argparse.Namespace, session: Session) -> int:
     containee = parse_cq(args.containee)
     containing = parse_cq(args.containing)
-    result = decide_set_containment(containee, containing)
-    print(result.explain())
-    return 0 if result.contained else 1
+    outcome = session.decide(containee, containing, semantics="set")
+    print(outcome.value.explain())
+    return 0 if outcome.verdict else 1
 
 
-def _run_evaluate(args: argparse.Namespace) -> int:
+def _run_evaluate(args: argparse.Namespace, session: Session) -> int:
     query = parse_cq(args.query)
     bag = _parse_bag(args.facts)
-    answers = evaluate_bag(query, bag)
+    answers = session.evaluate(EvaluationRequest(query, bag)).value
     print(f"query: {format_query(query)}")
     print(f"bag:   {format_bag_instance(bag)}")
     print(f"answer: {format_answer_bag(answers.items())}")
     return 0
 
 
-def _run_encode(args: argparse.Namespace) -> int:
+def _run_encode(args: argparse.Namespace, session: Session) -> int:
     containee = parse_cq(args.containee)
     containing = parse_cq(args.containing)
-    encoding = encode_most_general(containee, containing)
+    encoding = session.mpi(MpiRequest(containee, containing)).value
     print(encoding.describe())
     return 0
 
 
-def _run_compare(args: argparse.Namespace) -> int:
-    spectrum = compare(parse_cq(args.left), parse_cq(args.right))
-    print(spectrum.describe())
-    return 0 if spectrum.is_safe_substitution() else 1
+def _run_compare(args: argparse.Namespace, session: Session) -> int:
+    outcome = session.containment_spectrum(parse_cq(args.left), parse_cq(args.right))
+    print(outcome.value.describe())
+    return 0 if outcome.verdict else 1
 
 
-def _run_fuzz(args: argparse.Namespace) -> int:
+def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
     strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
 
     if args.replay is not None:
@@ -236,7 +243,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         shrink_failures=not args.no_shrink,
         time_budget=args.time_budget,
     )
-    report = run_campaign(config)
+    report = session.fuzz(config=config).value
     print(report.describe())
     if args.save_corpus is not None:
         path = save_corpus(campaign_corpus(report), args.save_corpus)
@@ -256,19 +263,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _run_compare,
         "fuzz": _run_fuzz,
     }
-    stats_baseline = default_cache().snapshot() if args.engine_stats else None
+    session = Session(backend=args.engine_backend, name="cli")
     try:
-        with use_backend(args.engine_backend):
-            return handlers[args.command](args)
+        with session.activate():
+            return handlers[args.command](args, session)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
         if args.engine_stats:
-            print("engine cache statistics (indexed backend cache, this command only):")
+            print("engine cache statistics (session cache, this command only):")
             if args.engine_backend != "indexed":
                 print(f"  note: this run used the {args.engine_backend} backend, which bypasses the cache")
-            for line in default_cache().describe(since=stats_baseline).splitlines():
+            for line in session.cache.describe().splitlines():
                 print(f"  {line}")
 
 

@@ -28,7 +28,7 @@ counterexample certificate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.core.certificates import (
     ContainmentCounterexample,
@@ -50,17 +50,26 @@ from repro.relational.terms import Term
 
 __all__ = [
     "BagContainmentResult",
+    "StrategyFn",
     "decide_bag_containment",
     "is_bag_contained",
     "are_bag_equivalent",
     "decide_via_most_general_probe",
     "decide_via_all_probes",
     "decide_via_bounded_guess",
+    "register_strategy",
+    "strategy_names",
     "STRATEGIES",
 ]
 
-#: Names of the available decision strategies.
+#: Names of the built-in decision strategies.
 STRATEGIES = ("most-general", "all-probes", "bounded-guess")
+
+#: A registered strategy: decide ``containee ⊑b containing`` and return a
+#: :class:`BagContainmentResult`.  Strategies receive every tunable as a
+#: keyword and must tolerate tunables they do not use (``use_lp`` for
+#: enumeration strategies, ``max_candidates`` for solver strategies).
+StrategyFn = Callable[..., "BagContainmentResult"]
 
 
 @dataclass(frozen=True)
@@ -322,31 +331,104 @@ def decide_via_bounded_guess(
     )
 
 
+def _most_general_strategy(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    *,
+    use_lp: bool = False,
+    verify_counterexamples: bool = True,
+    max_candidates: int | None = None,
+) -> BagContainmentResult:
+    return decide_via_most_general_probe(
+        containee, containing, use_lp=use_lp, verify_counterexamples=verify_counterexamples
+    )
+
+
+def _all_probes_strategy(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    *,
+    use_lp: bool = False,
+    verify_counterexamples: bool = True,
+    max_candidates: int | None = None,
+) -> BagContainmentResult:
+    return decide_via_all_probes(
+        containee, containing, use_lp=use_lp, verify_counterexamples=verify_counterexamples
+    )
+
+
+def _bounded_guess_strategy(
+    containee: ConjunctiveQuery,
+    containing: ConjunctiveQuery,
+    *,
+    use_lp: bool = False,
+    verify_counterexamples: bool = True,
+    max_candidates: int | None = None,
+) -> BagContainmentResult:
+    kwargs = {} if max_candidates is None else {"max_candidates": max_candidates}
+    return decide_via_bounded_guess(
+        containee, containing, verify_counterexamples=verify_counterexamples, **kwargs
+    )
+
+
+#: The pluggable strategy registry: name → :data:`StrategyFn`.
+_STRATEGY_REGISTRY: dict[str, StrategyFn] = {
+    "most-general": _most_general_strategy,
+    "all-probes": _all_probes_strategy,
+    "bounded-guess": _bounded_guess_strategy,
+}
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Every registered strategy name (built-ins first, then plugins)."""
+    return tuple(_STRATEGY_REGISTRY)
+
+
+def register_strategy(name: str, strategy: StrategyFn, replace: bool = False) -> None:
+    """Register a decision strategy under *name*.
+
+    Once registered, the name works everywhere a built-in does — sessions,
+    :func:`decide_bag_containment`, the differential oracle and the CLI.
+    Re-registering an existing name requires ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ContainmentError("a strategy name must be a non-empty string")
+    if name in _STRATEGY_REGISTRY and not replace:
+        raise ContainmentError(
+            f"strategy {name!r} is already registered (pass replace=True to override)"
+        )
+    _STRATEGY_REGISTRY[name] = strategy
+
+
 def decide_bag_containment(
     containee: ConjunctiveQuery,
     containing: ConjunctiveQuery,
     strategy: str = "most-general",
     use_lp: bool = False,
     verify_counterexamples: bool = True,
+    max_candidates: int | None = None,
 ) -> BagContainmentResult:
     """Decide ``containee ⊑b containing`` with the requested strategy.
 
     The containee must be projection-free; the containing query is an
-    arbitrary CQ.  See the module docstring for the available strategies.
+    arbitrary CQ.  The strategy is resolved through the registry, so plugin
+    strategies added via :func:`register_strategy` are selectable by name;
+    see the module docstring for the built-ins.  ``max_candidates`` caps the
+    bounded-guess enumeration (ignored by the solver strategies).
     """
-    if strategy == "most-general":
-        return decide_via_most_general_probe(
-            containee, containing, use_lp=use_lp, verify_counterexamples=verify_counterexamples
-        )
-    if strategy == "all-probes":
-        return decide_via_all_probes(
-            containee, containing, use_lp=use_lp, verify_counterexamples=verify_counterexamples
-        )
-    if strategy == "bounded-guess":
-        return decide_via_bounded_guess(
-            containee, containing, verify_counterexamples=verify_counterexamples
-        )
-    raise ContainmentError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+    try:
+        fn = _STRATEGY_REGISTRY[strategy]
+    except KeyError:
+        raise ContainmentError(
+            f"unknown strategy {strategy!r}; expected one of {strategy_names()}"
+        ) from None
+    return fn(
+        containee,
+        containing,
+        use_lp=use_lp,
+        verify_counterexamples=verify_counterexamples,
+        max_candidates=max_candidates,
+    )
 
 
 def is_bag_contained(

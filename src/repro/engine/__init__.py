@@ -35,11 +35,15 @@ from repro.engine.api import count_homomorphisms, has_homomorphism, iterate_homo
 from repro.engine.backends import (
     BACKEND_NAMES,
     Backend,
+    BackendFactory,
     IndexedBackend,
     NaiveBackend,
+    backend_names,
+    create_backend,
     default_cache,
     get_backend,
     get_default_backend,
+    register_backend,
     set_default_backend,
     use_backend,
 )
@@ -76,6 +80,7 @@ from repro.engine.plan import (
 __all__ = [
     "BACKEND_NAMES",
     "Backend",
+    "BackendFactory",
     "BagBatchEvaluator",
     "CacheStats",
     "ContainmentMappingBatcher",
@@ -88,11 +93,13 @@ __all__ = [
     "PlanStep",
     "TargetIndex",
     "atoms_fingerprint",
+    "backend_names",
     "compile_plan",
     "compile_template",
     "containment_mappings_many",
     "count_homomorphisms",
     "count_many",
+    "create_backend",
     "default_cache",
     "describe_snapshot",
     "evaluate_bag_many",
@@ -106,6 +113,7 @@ __all__ = [
     "iterate_homomorphisms",
     "merge_snapshots",
     "query_fingerprint",
+    "register_backend",
     "set_default_backend",
     "snapshot_delta",
     "use_backend",

@@ -18,15 +18,23 @@ baselines, CLI) can switch implementations without code changes:
     executor.  ``count`` and ``exists`` results are additionally memoised,
     keyed by the full execution fingerprint.
 
-The module also owns the process-wide backend registry and default selection
-(`get_backend`, `set_default_backend`, `use_backend`), which the CLI exposes
-as ``--engine-backend``.
+The module also owns the backend *registry* — a name → factory mapping that
+third-party backends join through :func:`register_backend` — and the
+**context-local** default selection (`get_backend`, `set_default_backend`,
+`use_backend`), which the CLI exposes as ``--engine-backend``.  Selection is
+backed by :mod:`contextvars`, so two threads (or two asyncio tasks) can run
+different backends concurrently without leaking state into each other; a
+:class:`repro.session.Session` additionally installs a *provider* so that
+name lookups made while the session is active resolve to the session's own
+backend instances (and therefore its own cache).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Mapping
+from contextvars import ContextVar
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.engine.cache import EngineCache
 from repro.engine.executor import (
@@ -47,6 +55,10 @@ __all__ = [
     "NaiveBackend",
     "IndexedBackend",
     "BACKEND_NAMES",
+    "BackendFactory",
+    "backend_names",
+    "create_backend",
+    "register_backend",
     "get_backend",
     "get_default_backend",
     "set_default_backend",
@@ -231,52 +243,134 @@ class IndexedBackend(Backend):
         )
 
 
-#: The canonical backend names, in CLI presentation order.
+#: The canonical built-in backend names, in CLI presentation order.
 BACKEND_NAMES = ("naive", "indexed")
 
-_REGISTRY: dict[str, Backend] = {
-    "naive": NaiveBackend(),
-    "indexed": IndexedBackend(),
+#: A backend factory: given an (optional) cache to share, build an instance.
+#: Factories that need no cache (like the naive reference) ignore the argument.
+BackendFactory = Callable[[EngineCache | None], Backend]
+
+_FACTORIES: dict[str, BackendFactory] = {
+    "naive": lambda cache: NaiveBackend(),
+    "indexed": lambda cache: IndexedBackend(cache=cache),
 }
 
-_default_backend_name = "indexed"
+#: Lazily built process-wide shared instances (the legacy, session-less path).
+_SHARED: dict[str, Backend] = {}
+_SHARED_LOCK = threading.Lock()
+
+#: The backend explicitly selected in the *current context* (``use_backend``,
+#: ``set_default_backend``, or an active session), or ``None`` for "indexed".
+_ACTIVE_BACKEND: ContextVar[Backend | None] = ContextVar("repro_active_backend", default=None)
+
+#: Name → instance resolver installed by an active session so that lookups
+#: (including ``use_backend`` switches *inside* the session) resolve to the
+#: session's own instances rather than the process-wide shared ones.
+_ACTIVE_PROVIDER: ContextVar[Callable[[str], Backend] | None] = ContextVar(
+    "repro_backend_provider", default=None
+)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name (built-ins first, then plugins)."""
+    return tuple(_FACTORIES)
+
+
+def register_backend(name: str, factory: BackendFactory, replace: bool = False) -> None:
+    """Register a backend factory under *name*.
+
+    Third-party backends join the registry without touching core modules:
+    once registered, the name works everywhere a built-in does — sessions,
+    ``use_backend``, the differential oracle and the CLI.  Re-registering an
+    existing name requires ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ReproError("a backend name must be a non-empty string")
+    if name in _FACTORIES and not replace:
+        raise ReproError(f"backend {name!r} is already registered (pass replace=True to override)")
+    _FACTORIES[name] = factory
+    with _SHARED_LOCK:
+        _SHARED.pop(name, None)
+
+
+def create_backend(name: str, cache: EngineCache | None = None) -> Backend:
+    """Build a fresh backend instance, optionally sharing *cache*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown engine backend {name!r}; expected one of {backend_names()}"
+        ) from None
+    return factory(cache)
+
+
+def _shared_instance(name: str) -> Backend:
+    if name not in _FACTORIES:
+        raise ReproError(f"unknown engine backend {name!r}; expected one of {backend_names()}")
+    instance = _SHARED.get(name)
+    if instance is None:
+        # Locked: concurrent first lookups must agree on one shared instance
+        # (and, for the indexed backend, one shared cache).
+        with _SHARED_LOCK:
+            instance = _SHARED.get(name)
+            if instance is None:
+                instance = create_backend(name)
+                _SHARED[name] = instance
+    return instance
 
 
 def get_backend(name: str) -> Backend:
-    """Look a backend up by name (``naive`` or ``indexed``)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise ReproError(f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}") from None
+    """Look a backend up by name, resolving through the active session if any."""
+    provider = _ACTIVE_PROVIDER.get()
+    if provider is not None:
+        return provider(name)
+    return _shared_instance(name)
 
 
 def get_default_backend() -> Backend:
-    """The backend used when callers do not pass one explicitly."""
-    return _REGISTRY[_default_backend_name]
+    """The backend used when callers do not pass one explicitly.
+
+    Resolution is context-local: an explicit :func:`use_backend` /
+    :func:`set_default_backend` selection in this context wins, then an
+    active session's backend, then the process-wide shared ``indexed``
+    instance.  New threads start from the base default, so a selection made
+    in one thread never leaks into another.
+    """
+    active = _ACTIVE_BACKEND.get()
+    if active is not None:
+        return active
+    return get_backend("indexed")
 
 
 def set_default_backend(name: str) -> str:
-    """Select the process-wide default backend; returns the previous name."""
-    global _default_backend_name
-    if name not in _REGISTRY:
-        raise ReproError(f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}")
-    previous = _default_backend_name
-    _default_backend_name = name
+    """Select the default backend for the current context; returns the previous name."""
+    previous = get_default_backend().name
+    _ACTIVE_BACKEND.set(get_backend(name))
     return previous
 
 
 @contextmanager
 def use_backend(name: str):
-    """Temporarily switch the default backend (restored on exit)."""
-    previous = set_default_backend(name)
+    """Temporarily switch the default backend (restored on exit).
+
+    The switch is scoped to the current context (thread / asyncio task), so
+    concurrent workloads can hold different backends at the same time.
+    """
+    backend = get_backend(name)
+    token = _ACTIVE_BACKEND.set(backend)
     try:
-        yield get_backend(name)
+        yield backend
     finally:
-        set_default_backend(previous)
+        _ACTIVE_BACKEND.reset(token)
 
 
 def default_cache() -> EngineCache:
-    """The cache of the shared indexed backend (for stats and invalidation)."""
-    backend = _REGISTRY["indexed"]
-    assert isinstance(backend, IndexedBackend)
+    """The cache of the current indexed backend (for stats and invalidation).
+
+    Inside an active session this is the *session's* cache; otherwise the
+    process-wide shared indexed backend's cache.
+    """
+    backend = get_backend("indexed")
+    if not isinstance(backend, IndexedBackend):
+        raise ReproError("the 'indexed' backend registration does not produce an IndexedBackend")
     return backend.cache

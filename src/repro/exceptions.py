@@ -93,5 +93,10 @@ class VerifyError(ReproError):
     or campaign configuration, malformed corpus files)."""
 
 
+class SessionError(ReproError):
+    """Errors raised by the session service facade (bad request shapes,
+    unknown semantics, exhausted session limits)."""
+
+
 class CliError(ReproError):
     """Errors raised by the command line interface."""

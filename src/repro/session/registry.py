@@ -1,0 +1,27 @@
+"""The pluggable extension registries, re-exported as one surface.
+
+Third-party code extends the library without editing core modules:
+
+* :func:`register_backend` adds a homomorphism-engine backend (a factory
+  ``cache -> Backend``); the name becomes selectable in sessions, in
+  ``use_backend`` and in the CLI's ``--engine-backend``.
+* :func:`register_strategy` adds a bag-containment decision strategy; the
+  name becomes selectable in sessions, in ``decide_bag_containment`` and in
+  the CLI's ``--strategy``.
+
+The canonical registries live with the code they extend
+(:mod:`repro.engine.backends` and :mod:`repro.core.decision`); this module
+is the session-level facade over both.
+"""
+
+from repro.core.decision import StrategyFn, register_strategy, strategy_names
+from repro.engine.backends import BackendFactory, backend_names, register_backend
+
+__all__ = [
+    "BackendFactory",
+    "StrategyFn",
+    "backend_names",
+    "register_backend",
+    "register_strategy",
+    "strategy_names",
+]

@@ -1,0 +1,177 @@
+"""Deprecation shims: the legacy top-level call paths, kept working.
+
+Every service-style function that used to be called straight off the
+``repro`` namespace keeps working, but now executes *over the default
+module session* (:func:`repro.session.default_session`) — same code paths,
+same results, one shared cache — and emits a :class:`DeprecationWarning`
+pointing at the session replacement.  Each warning fires exactly once per
+(function, calling module) pair, so a migration sweep sees every distinct
+call site without a hot loop drowning the log.
+
+The warnings are attributed to the *caller* (``stacklevel``), which is what
+makes the test suite's ``error::DeprecationWarning:repro\\..*`` filter an
+architecture check: any module inside ``repro.*`` that calls one of its own
+deprecated shims fails the build, while downstream callers merely see the
+warning.
+
+Only this module may call the wrapped legacy functions without triggering
+that check; everything else inside the library goes through sessions or the
+underlying submodules directly.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import warnings
+from typing import Any, Callable
+
+from repro.baselines import comparison as _comparison
+from repro.containment import bag_set_containment as _bag_set
+from repro.containment import set_containment as _set
+from repro.core import decision as _decision
+from repro.core import encoding as _encoding
+from repro.core import spectrum as _spectrum
+from repro.engine import backends as _backends
+from repro.engine import batch as _batch
+from repro.evaluation import bag_evaluation as _bag_eval
+from repro.evaluation import bag_set_evaluation as _bag_set_eval
+from repro.evaluation import set_evaluation as _set_eval
+from repro.session.session import default_session
+from repro.verify import oracles as _oracles
+from repro.verify import runner as _runner
+
+__all__ = [
+    "DEPRECATED_SHIMS",
+    "reset_shim_warnings",
+    # the shims themselves
+    "decide_bag_containment",
+    "is_bag_contained",
+    "are_bag_equivalent",
+    "decide_set_containment",
+    "is_set_contained",
+    "are_set_equivalent",
+    "decide_bag_set_containment",
+    "are_bag_set_equivalent",
+    "evaluate_bag",
+    "evaluate_set",
+    "evaluate_bag_set",
+    "evaluate_bag_many",
+    "encode",
+    "encode_most_general",
+    "compare",
+    "cross_check",
+    "run_differential_oracle",
+    "run_campaign",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: ``(shim name, calling module, line)`` triples that have already warned.
+_WARNED: set[tuple[str, str, int]] = set()
+
+
+def reset_shim_warnings() -> None:
+    """Forget which call sites have warned (for tests and long-lived REPLs)."""
+    _WARNED.clear()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    frame = sys._getframe(2)
+    key = (name, frame.f_globals.get("__name__", "<unknown>"), frame.f_lineno)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {replacement} (see the README's Session API section)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _session_shim(replacement: str, func: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap *func*: warn once per call site, then run over the default session.
+
+    The default session only takes over when the context has made no
+    explicit choice of its own: a backend selected via ``use_backend`` /
+    ``set_default_backend`` or an already-active session must keep governing
+    the call (activating the default session here would silently override
+    it), so in that case the legacy function runs in the context as-is.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        _warn_deprecated(func.__name__, replacement)
+        if _backends._ACTIVE_BACKEND.get() is not None:
+            return func(*args, **kwargs)
+        with default_session().activate():
+            return func(*args, **kwargs)
+
+    wrapper.__deprecated_replacement__ = replacement
+    return wrapper
+
+
+def _plain_shim(replacement: str, func: Callable[..., Any]) -> Callable[..., Any]:
+    """Warn-only wrapper for context-manipulating functions.
+
+    ``set_default_backend`` / ``use_backend`` mutate the context themselves;
+    running them inside a session activation would undo the mutation on
+    exit, so they are delegated as-is.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        _warn_deprecated(func.__name__, replacement)
+        return func(*args, **kwargs)
+
+    wrapper.__deprecated_replacement__ = replacement
+    return wrapper
+
+
+decide_bag_containment = _session_shim("Session.decide()", _decision.decide_bag_containment)
+is_bag_contained = _session_shim("Session.decide().verdict", _decision.is_bag_contained)
+are_bag_equivalent = _session_shim("Session.decide() in both directions", _decision.are_bag_equivalent)
+
+decide_set_containment = _session_shim(
+    "Session.decide(semantics='set')", _set.decide_set_containment
+)
+is_set_contained = _session_shim("Session.decide(semantics='set').verdict", _set.is_set_contained)
+are_set_equivalent = _session_shim(
+    "Session.decide(semantics='set') in both directions", _set.are_set_equivalent
+)
+decide_bag_set_containment = _session_shim(
+    "Session.decide(semantics='bag-set')", _bag_set.decide_bag_set_containment
+)
+are_bag_set_equivalent = _session_shim(
+    "Session.decide(semantics='bag-set') in both directions", _bag_set.are_bag_set_equivalent
+)
+
+evaluate_bag = _session_shim("Session.evaluate()", _bag_eval.evaluate_bag)
+evaluate_set = _session_shim("Session.evaluate(semantics='set')", _set_eval.evaluate_set)
+evaluate_bag_set = _session_shim(
+    "Session.evaluate(semantics='bag-set')", _bag_set_eval.evaluate_bag_set
+)
+evaluate_bag_many = _session_shim("Session.batch()", _batch.evaluate_bag_many)
+
+encode = _session_shim("Session.mpi(probe=...)", _encoding.encode)
+encode_most_general = _session_shim("Session.mpi()", _encoding.encode_most_general)
+
+compare = _session_shim("Session.containment_spectrum()", _spectrum.compare)
+cross_check = _session_shim("cross_check(session=...)", _comparison.cross_check)
+
+run_differential_oracle = _session_shim("Session.verify()", _oracles.run_differential_oracle)
+run_campaign = _session_shim("Session.fuzz()", _runner.run_campaign)
+
+set_default_backend = _plain_shim(
+    "Session(backend=...) / repro.session.use_session", _backends.set_default_backend
+)
+use_backend = _plain_shim(
+    "Session(backend=...) / repro.session.use_session", _backends.use_backend
+)
+
+#: Shim name → replacement hint, for docs and the README migration table.
+DEPRECATED_SHIMS: dict[str, str] = {
+    name: getattr(globals()[name], "__deprecated_replacement__")
+    for name in __all__
+    if name not in ("DEPRECATED_SHIMS", "reset_shim_warnings")
+}

@@ -31,11 +31,10 @@ from repro.containment.set_containment import is_set_contained
 from repro.core.decision import (
     STRATEGIES,
     BagContainmentResult,
-    decide_via_all_probes,
-    decide_via_bounded_guess,
-    decide_via_most_general_probe,
+    decide_bag_containment,
+    strategy_names,
 )
-from repro.engine import BACKEND_NAMES, use_backend
+from repro.engine import BACKEND_NAMES, backend_names, use_backend
 from repro.exceptions import (
     CertificateError,
     ContainmentError,
@@ -78,11 +77,15 @@ class OracleConfig:
 
     def __post_init__(self) -> None:
         for strategy in self.strategies:
-            if strategy not in STRATEGIES:
-                raise VerifyError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+            if strategy not in strategy_names():
+                raise VerifyError(
+                    f"unknown strategy {strategy!r}; expected one of {strategy_names()}"
+                )
         for backend in self.backends:
-            if backend not in BACKEND_NAMES:
-                raise VerifyError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
+            if backend not in backend_names():
+                raise VerifyError(
+                    f"unknown backend {backend!r}; expected one of {backend_names()}"
+                )
         for path in self.diophantine_paths:
             if path not in DIOPHANTINE_PATHS:
                 raise VerifyError(f"unknown path {path!r}; expected one of {DIOPHANTINE_PATHS}")
@@ -156,21 +159,14 @@ def _run_one(
     label = f"{strategy}/{path}/{backend}"
     try:
         with use_backend(backend):
-            if strategy == "most-general":
-                result = decide_via_most_general_probe(
-                    containee, containing, use_lp=(path == "lp"), verify_counterexamples=False
-                )
-            elif strategy == "all-probes":
-                result = decide_via_all_probes(
-                    containee, containing, use_lp=(path == "lp"), verify_counterexamples=False
-                )
-            else:
-                result = decide_via_bounded_guess(
-                    containee,
-                    containing,
-                    max_candidates=config.bounded_guess_max_candidates,
-                    verify_counterexamples=False,
-                )
+            result = decide_bag_containment(
+                containee,
+                containing,
+                strategy=strategy,
+                use_lp=(path == "lp"),
+                verify_counterexamples=False,
+                max_candidates=config.bounded_guess_max_candidates,
+            )
     except EnumerationBudgetError as error:
         return StrategyRun(strategy, path, backend, skipped=str(error)), discrepancies
     except ContainmentError as error:

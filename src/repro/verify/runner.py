@@ -27,6 +27,7 @@ import dataclasses
 import multiprocessing
 import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.decision import STRATEGIES
@@ -390,9 +391,23 @@ def _chunks(config: CampaignConfig) -> list[tuple[CampaignConfig, tuple[int, ...
     ]
 
 
-def run_campaign(config: CampaignConfig | None = None) -> CampaignReport:
-    """Run one fuzz campaign, inline or across a worker pool."""
+def run_campaign(config: CampaignConfig | None = None, session=None) -> CampaignReport:
+    """Run one fuzz campaign, inline or across a worker pool.
+
+    With *session* (a :class:`repro.session.Session`), the campaign runs
+    with that session active: inline decisions resolve backends through the
+    session (sharing its engine cache, which the report's cache statistics
+    then reflect), and with ``fork``-started worker pools each worker
+    inherits a copy-on-write snapshot of the session context.  Without one,
+    the campaign uses the context's current defaults, as before.
+    """
     config = config or CampaignConfig()
+    context = session.activate() if session is not None else nullcontext()
+    with context:
+        return _run_campaign(config)
+
+
+def _run_campaign(config: CampaignConfig) -> CampaignReport:
     started = time.perf_counter()
     results: list[CaseResult] = []
     snapshots: list[dict[str, tuple[int, int, int]]] = []
