@@ -1,0 +1,145 @@
+"""E14 — parallel sharded batches: ``Session.batch(jobs=N)`` vs serial.
+
+The parallel layer claims that a batch of **distinct** containment requests
+— the regime where memoisation cannot collapse the work — fans out across
+worker processes with (a) near-linear speedup on 4+ cores and (b) an
+outcome stream *bit-identical* to the serial path: same verdicts, same
+certificates, same captured errors, and identical merged cache statistics
+(each worker ships back its cache delta; with component-distinct pairs and
+certificate replay off there is no cacheable work between requests, so the
+fleet's merged counters equal the single session's).
+
+The workload is 1000 mixed pairs (random-acyclic DAG bodies at the 7×7
+size, wide stars, long chains) built by
+:func:`repro.workloads.scale.mixed_requests` with ``distinct=True``.  Both
+sessions use eviction-free caches (evictions depend on interleaving, which
+sharding changes by design) and ``capture_errors=True`` (a handful of
+random 7×7 systems exceed the exact solver's row cap; the failures are
+deterministic and must match across paths too).
+
+The identity assertions always run.  The speedup assertion
+(``jobs=4 ≥ 2.5×`` serial) only runs on machines with at least 4 CPUs —
+on fewer cores the workers time-slice one another and the measurement is
+meaningless; the run still reports its numbers and writes the JSON record
+(``bench_e14_parallel.json``, or the path in ``$BENCH_E14_JSON``) that CI
+uploads as an artifact.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_e14_parallel.py``)
+for the comparison table, or through pytest with the bench collection
+options used by the other experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine.cache import EngineCache
+from repro.parallel import merged_cache_stats
+from repro.session import Session
+from repro.workloads.scale import mixed_requests
+
+#: Minimum jobs=4-over-serial speedup on the 1000-pair distinct workload.
+REQUIRED_SPEEDUP = 2.5
+
+#: The speedup assertion needs real parallel hardware.
+REQUIRED_CORES = 4
+
+#: The fixed workload: 1000 component-distinct mixed pairs.
+CASES = 1000
+
+
+def _workload():
+    return mixed_requests(
+        CASES,
+        seed=0,
+        distinct=True,
+        verify_certificates=False,
+        acyclic_atoms=7,
+        acyclic_variables=7,
+    )
+
+
+def _session() -> Session:
+    # Eviction-free caches: evictions depend on request interleaving, which
+    # sharding changes by design; without them the cache-statistics streams
+    # of the serial and parallel paths must match exactly.
+    return Session(
+        cache=EngineCache(max_plans=1_000_000, max_indexes=1_000_000, max_results=1_000_000)
+    )
+
+
+def _run(requests, jobs: int) -> tuple[float, list]:
+    session = _session()
+    started = time.perf_counter()
+    outcomes = list(session.batch(requests, capture_errors=True, jobs=jobs))
+    return time.perf_counter() - started, outcomes
+
+
+def _fingerprint(outcomes) -> tuple:
+    """Everything the determinism guarantee covers, in one comparable value."""
+    return (
+        [outcome.verdict for outcome in outcomes],
+        [outcome.certificate for outcome in outcomes],
+        [outcome.error for outcome in outcomes],
+        merged_cache_stats(outcomes),
+    )
+
+
+def bench_e14_parallel_batch() -> None:
+    cores = os.cpu_count() or 1
+    print(f"E14 — parallel sharded Session.batch() on {CASES} distinct mixed pairs "
+          f"({cores} CPUs)")
+
+    requests = _workload()
+    serial_elapsed, serial_outcomes = _run(requests, jobs=1)
+    errors = sum(1 for outcome in serial_outcomes if outcome.error is not None)
+    print(f"{'jobs':>6} {'seconds':>9} {'speedup':>8}")
+    print(f"{1:>6} {serial_elapsed:>8.2f}s {'1.0x':>8}")
+
+    job_counts = (2, 4) if cores >= REQUIRED_CORES else (4,)
+    runs: dict[int, float] = {}
+    for jobs in job_counts:
+        elapsed, outcomes = _run(requests, jobs=jobs)
+        runs[jobs] = elapsed
+        assert _fingerprint(outcomes) == _fingerprint(serial_outcomes), (
+            f"jobs={jobs} outcome stream diverged from the serial path"
+        )
+        # The full native result objects agree too, not just the essences.
+        assert [o.value for o in outcomes] == [o.value for o in serial_outcomes], (
+            f"jobs={jobs} result values diverged from the serial path"
+        )
+        print(f"{jobs:>6} {elapsed:>8.2f}s {serial_elapsed / elapsed:>7.1f}x")
+
+    speedup = serial_elapsed / runs[4] if runs.get(4) else 0.0
+    record = {
+        "experiment": "e14_parallel_batch",
+        "cases": CASES,
+        "cores": cores,
+        "errors": errors,
+        "serial_seconds": round(serial_elapsed, 3),
+        "parallel_seconds": {str(jobs): round(elapsed, 3) for jobs, elapsed in runs.items()},
+        "speedup_jobs4": round(speedup, 2),
+        "streams_identical": True,  # asserted above
+        "speedup_asserted": cores >= REQUIRED_CORES,
+    }
+    json_path = os.environ.get("BENCH_E14_JSON", "bench_e14_parallel.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"json record written to {json_path}")
+
+    if cores >= REQUIRED_CORES:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"parallel batches must scale: expected ≥{REQUIRED_SPEEDUP}x at jobs=4 "
+            f"over serial on {cores} CPUs, measured {speedup:.2f}x"
+        )
+    else:
+        print(
+            f"note: {cores} CPU(s) < {REQUIRED_CORES} — identity verified, "
+            f"speedup assertion skipped (needs real parallel hardware)"
+        )
+
+
+if __name__ == "__main__":
+    bench_e14_parallel_batch()

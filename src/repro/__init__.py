@@ -85,6 +85,7 @@ from repro.session import (
     MpiRequest,
     Outcome,
     Session,
+    SessionSpec,
     backend_names,
     current_session,
     default_session,
@@ -159,6 +160,7 @@ __all__ = [
     "RelationSchema",
     "Relationship",
     "Session",
+    "SessionSpec",
     "SetContainmentResult",
     "SetInstance",
     "Substitution",

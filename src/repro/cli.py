@@ -5,7 +5,10 @@ Sub-commands
 ``decide``
     Decide bag containment of a projection-free CQ into a CQ and print the
     verdict, the Diophantine encoding and — for negative answers — the
-    counterexample bag.
+    counterexample bag.  With ``--batch PATH`` every pair of a corpus file
+    (as written by ``fuzz --save-corpus``) is decided instead of one inline
+    pair, and ``--jobs N`` shards the batch across worker processes
+    (deterministic request-order output, see ``repro.parallel``).
 
 ``set-decide``
     Decide classic set containment (Chandra–Merlin).
@@ -81,8 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     decide = subparsers.add_parser("decide", help="decide bag containment q1 ⊑b q2")
-    decide.add_argument("containee", help="the projection-free containee query q1")
-    decide.add_argument("containing", help="the containing query q2")
+    decide.add_argument(
+        "containee", nargs="?", default=None, help="the projection-free containee query q1"
+    )
+    decide.add_argument("containing", nargs="?", default=None, help="the containing query q2")
     decide.add_argument(
         "--strategy",
         choices=strategy_names(),
@@ -91,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decide.add_argument("--lp", action="store_true", help="use the scipy LP fast path")
     decide.add_argument("--verbose", action="store_true", help="print the full encoding")
+    decide.add_argument(
+        "--batch",
+        metavar="PATH",
+        default=None,
+        help="decide every pair of a corpus file (fuzz --save-corpus format) instead of one inline pair",
+    )
+    decide.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --batch (1 = inline; results stay in request order)",
+    )
 
     set_decide = subparsers.add_parser("set-decide", help="decide set containment q1 ⊑s q2")
     set_decide.add_argument("containee", help="the containee query q1")
@@ -169,6 +186,10 @@ def _parse_bag(fact_specs: Sequence[str]) -> BagInstance:
 
 
 def _run_decide(args: argparse.Namespace, session: Session) -> int:
+    if args.batch is not None:
+        return _run_decide_batch(args, session)
+    if args.containee is None or args.containing is None:
+        raise CliError("decide needs two inline queries (or --batch PATH)")
     containee = parse_cq(args.containee)
     containing = parse_cq(args.containing)
     outcome = session.decide(
@@ -183,6 +204,42 @@ def _run_decide(args: argparse.Namespace, session: Session) -> int:
         print()
         print(result.encodings[-1].describe())
     return 0 if outcome.verdict else 1
+
+
+def _run_decide_batch(args: argparse.Namespace, session: Session) -> int:
+    if args.containee is not None or args.containing is not None:
+        raise CliError("--batch replaces the inline queries; pass either, not both")
+    from repro.session import ContainmentRequest
+    from repro.verify.corpus import load_corpus
+
+    entries = load_corpus(args.batch)
+    requests = [
+        ContainmentRequest(
+            entry.containee,
+            entry.containing,
+            strategy=args.strategy,
+            diophantine_path="lp" if args.lp else "exact",
+        )
+        for entry in entries
+    ]
+    errors = 0
+    contained = 0
+    outcomes = session.batch(requests, capture_errors=True, jobs=args.jobs)
+    for entry, outcome in zip(entries, outcomes):
+        if outcome.error is not None:
+            errors += 1
+            print(f"{entry.case_id}: error {outcome.error}")
+            continue
+        verdict = "contained" if outcome.verdict else "not contained"
+        certified = " (certified)" if outcome.certificate is not None else ""
+        contained += bool(outcome.verdict)
+        print(f"{entry.case_id}: {verdict}{certified} [{outcome.elapsed * 1000:.1f}ms]")
+    print(
+        f"batch {args.batch}: {len(requests)} pairs, {contained} contained, "
+        f"{len(requests) - contained - errors} not contained, {errors} errors "
+        f"[jobs={args.jobs}]"
+    )
+    return 0 if errors == 0 else 1
 
 
 def _run_set_decide(args: argparse.Namespace, session: Session) -> int:

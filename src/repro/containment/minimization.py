@@ -11,6 +11,8 @@ computation is still essential as a baseline and for workload analysis.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.engine import has_homomorphism
 from repro.queries.cq import ConjunctiveQuery
 from repro.relational.atoms import Atom
@@ -19,24 +21,33 @@ from repro.relational.terms import Term, Variable
 __all__ = ["core", "is_minimal", "redundant_atoms"]
 
 
-def _is_endomorphism_avoiding(
-    query: ConjunctiveQuery, removed: Atom
+def _folds_without_position(
+    atoms: Sequence[Atom], head: Sequence[Variable], position: int
 ) -> bool:
-    """Can the query body be folded into itself without using *removed*?
+    """Can *atoms* be folded into themselves without the atom at *position*?
 
     There must be a homomorphism from the full body into the body minus
-    *removed* that is the identity on the head variables.
+    that one occurrence that is the identity on the head variables.  The
+    candidate is removed **by position**, never by equality: filtering with
+    ``!=`` would drop *every* syntactically equal occurrence at once, which
+    both removes too much from the fold target and (in :func:`core`) could
+    delete several occurrences in one step.
     """
-    target = [atom for atom in query.body_atoms() if atom != removed]
+    target = list(atoms[:position]) + list(atoms[position + 1 :])
     if not target:
         return False
-    fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
-    return has_homomorphism(query.body_atoms(), target, fixed)
+    fixed: dict[Variable, Term] = {variable: variable for variable in head}
+    return has_homomorphism(atoms, target, fixed)
 
 
 def redundant_atoms(query: ConjunctiveQuery) -> list[Atom]:
     """Atoms that can be folded away while preserving set equivalence."""
-    return [atom for atom in query.body_atoms() if _is_endomorphism_avoiding(query, atom)]
+    atoms = query.body_atoms()
+    return [
+        atoms[position]
+        for position in range(len(atoms))
+        if _folds_without_position(atoms, query.head, position)
+    ]
 
 
 def is_minimal(query: ConjunctiveQuery) -> bool:
@@ -47,20 +58,19 @@ def is_minimal(query: ConjunctiveQuery) -> bool:
 def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
     """Compute the core (a minimal set-equivalent sub-query) of *query*.
 
-    Atoms are removed greedily while an endomorphism into the remaining body
-    (fixing the head) exists.  Multiplicities are reset to 1: the core is a
-    set-semantics notion.
+    Atoms are removed greedily, one occurrence (position) at a time, while
+    an endomorphism into the remaining body (fixing the head) exists.
+    Multiplicities are reset to 1: the core is a set-semantics notion.
     """
     remaining = list(query.set_body().body_atoms())
     changed = True
     while changed:
         changed = False
-        for atom in list(remaining):
-            if len(remaining) == 1:
-                break
-            candidate_body = [other for other in remaining if other != atom]
-            fixed: dict[Variable, Term] = {variable: variable for variable in query.head}
-            if has_homomorphism(remaining, candidate_body, fixed):
-                remaining = candidate_body
+        position = 0
+        while position < len(remaining) and len(remaining) > 1:
+            if _folds_without_position(remaining, query.head, position):
+                remaining = remaining[:position] + remaining[position + 1 :]
                 changed = True
+            else:
+                position += 1
     return ConjunctiveQuery(query.head, {atom: 1 for atom in remaining}, name=f"core({query.name})")

@@ -15,8 +15,15 @@ a :class:`ContainmentSpectrum` with a compact verdict:
   counts differ in both directions (the paper's q1/q2 situation);
 * ``INCOMPARABLE`` — not even set containment holds in either direction;
 * directions whose containee has projections are reported as ``None``
-  (outside the fragment the paper proves decidable) and the verdict falls
-  back to what the set-semantics comparison supports.
+  (outside the fragment the paper proves decidable).
+
+Undecided bag directions are *refined* before the verdict is derived: bag
+containment implies set containment, so a direction whose set containment
+fails is known **not** to hold under bags even when the decision procedure
+could not run.  A direction that stays genuinely unknown after refinement
+makes the verdict ``UNKNOWN`` — the comparison never reports a definite
+relationship (``CONTAINED``, ``CONTAINS``, ``SET_CONTAINED_ONLY``, ...)
+that the unknown direction could contradict.
 """
 
 from __future__ import annotations
@@ -59,19 +66,40 @@ class ContainmentSpectrum:
     bag_forward: bool | None
     bag_backward: bool | None
 
+    def _refined_bag_directions(self) -> tuple[bool | None, bool | None]:
+        """Bag directions with undecided values refined by the set results.
+
+        Bag containment implies set containment, so ``None`` (undecidable)
+        in a direction whose *set* containment fails refines to ``False``.
+        A direction that stays ``None`` is genuinely open: its set
+        containment holds, so both bag outcomes remain possible.
+        """
+        forward = self.bag_forward
+        backward = self.bag_backward
+        if forward is None and not self.set_forward:
+            forward = False
+        if backward is None and not self.set_backward:
+            backward = False
+        return forward, backward
+
     @property
     def relationship(self) -> Relationship:
-        """The compact verdict derived from the four decisions."""
-        if self.bag_forward and self.bag_backward:
+        """The compact verdict derived from the four decisions.
+
+        The verdict is conservative: if either refined bag direction is
+        still unknown, the relationship is ``UNKNOWN`` — any definite
+        answer (``EQUIVALENT`` through ``SET_CONTAINED_ONLY``) makes a
+        claim about both directions, which the open one could contradict.
+        """
+        forward, backward = self._refined_bag_directions()
+        if forward is None or backward is None:
+            return Relationship.UNKNOWN
+        if forward and backward:
             return Relationship.EQUIVALENT
-        if self.bag_forward:
+        if forward:
             return Relationship.CONTAINED
-        if self.bag_backward:
+        if backward:
             return Relationship.CONTAINS
-        if self.bag_forward is None and self.bag_backward is None:
-            if self.set_forward or self.set_backward:
-                return Relationship.UNKNOWN
-            return Relationship.INCOMPARABLE
         if self.set_forward and self.set_backward:
             return Relationship.SET_EQUIVALENT_ONLY
         if self.set_forward or self.set_backward:

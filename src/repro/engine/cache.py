@@ -142,6 +142,20 @@ class EngineCache:
         self._plans = _LruLayer("plans", max_plans)
         self._results = _LruLayer("results", max_results)
 
+    @property
+    def capacities(self) -> tuple[int, int, int]:
+        """``(max_plans, max_indexes, max_results)`` — the constructor arguments.
+
+        This is the cache's configuration fingerprint: a worker process can
+        build a behaviourally equivalent cache from it without shipping any
+        entries (see :class:`repro.session.SessionSpec`).
+        """
+        return (
+            self._plans.max_entries,
+            self._indexes.max_entries,
+            self._results.max_entries,
+        )
+
     # ------------------------------------------------------------------ #
     # Lookup / build
     # ------------------------------------------------------------------ #
@@ -206,6 +220,24 @@ class EngineCache:
         """Zero all hit/miss/eviction counters."""
         for layer in (self._indexes, self._plans, self._results):
             layer.stats = CacheStats()
+
+    def absorb_delta(self, delta: Mapping[str, tuple[int, int, int]]) -> None:
+        """Fold another cache's ``(hits, misses, evictions)`` delta into the stats.
+
+        This is the merge hook of the parallel batch layer: worker processes
+        run their own caches and ship back :func:`snapshot_delta` dictionaries,
+        and the parent folds them in so the session's cache statistics reflect
+        the whole fleet's work.  Only the counters move — entries stay where
+        they were built (worker caches die with the workers).
+        """
+        by_name = {layer.name: layer for layer in (self._plans, self._indexes, self._results)}
+        for name, (hits, misses, evictions) in delta.items():
+            layer = by_name.get(name)
+            if layer is None:
+                continue
+            layer.stats.hits += hits
+            layer.stats.misses += misses
+            layer.stats.evictions += evictions
 
     @property
     def plan_stats(self) -> CacheStats:

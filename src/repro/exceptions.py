@@ -98,5 +98,13 @@ class SessionError(ReproError):
     unknown semantics, exhausted session limits)."""
 
 
+class ParallelError(SessionError):
+    """A sharded parallel execution failed inside a worker process.
+
+    The message carries the worker-side exception's ``repr`` and traceback;
+    the original exception object itself may not be picklable, so it cannot
+    always be re-raised as-is in the parent."""
+
+
 class CliError(ReproError):
     """Errors raised by the command line interface."""

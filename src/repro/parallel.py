@@ -1,0 +1,292 @@
+"""Parallel sharded execution: one request stream, many worker processes.
+
+The decision procedure is the kind of primitive a query optimizer calls
+thousands of times per workload (view selection, rewrite enumeration), and
+one Python process tops out at one core.  This module fans a
+:meth:`~repro.session.Session.batch` request stream — or any chunkable
+workload, the fuzz campaign runner reuses the same harness — across a
+``multiprocessing`` pool while keeping the guarantees the serial path
+gives:
+
+**Determinism.**  Requests are sharded into contiguous chunks and results
+stream back to the caller **in request order**, no matter which worker
+finished first (``pool.imap`` reorders internally).  Verdicts and
+certificates are pure functions of the request, so the parallel outcome
+stream is identical to the serial one.
+
+**Work stealing.**  Chunks are dispatched to workers as they free up (the
+pool's shared task queue), so a skewed workload — a few expensive
+requests among many cheap ones — balances automatically.
+:func:`default_chunk_size` aims at several chunks per worker: small enough
+to steal, large enough to amortise IPC.
+
+**Session rehydration.**  Sessions own engine caches full of compiled
+plans; shipping one to a worker would serialize the whole cache.  Instead
+each worker rehydrates a fresh twin from the parent session's picklable
+:class:`~repro.session.SessionSpec` fingerprint (pool initializer), runs
+its shard against its own cache, and ships back outcomes plus a
+:func:`~repro.engine.cache.snapshot_delta` of what the shard did to that
+cache.  The parent folds the deltas into its own cache statistics
+(:meth:`~repro.engine.cache.EngineCache.absorb_delta`), so fleet-wide
+stats stay observable in one place.
+
+**Clean shutdown.**  Worker-side failures — including
+``KeyboardInterrupt`` — are caught *inside* the worker and shipped back as
+values, so the pool never hangs on a dead worker; the parent re-raises
+(``KeyboardInterrupt`` as itself, anything else as
+:class:`~repro.exceptions.ParallelError`) and the pool is terminated and
+joined before the exception propagates.  Closing the outcome iterator
+early (e.g. a time budget) tears the pool down the same way.
+
+When to parallelise: memoisation beats parallelism on repetitive streams
+(a repeated request is a cache hit in one process but a re-computation in
+every worker shard), so reach for ``jobs=`` when the stream is dominated
+by *distinct* requests and for ``memoize`` when it repeats itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
+
+from repro.engine.cache import merge_snapshots, snapshot_delta
+from repro.exceptions import ParallelError
+from repro.session.requests import Outcome
+from repro.session.session import Session, SessionSpec
+
+__all__ = [
+    "default_chunk_size",
+    "merged_cache_stats",
+    "parallel_batch",
+    "pool_imap",
+    "shard",
+]
+
+_T = TypeVar("_T")
+
+
+# --------------------------------------------------------------------- #
+# Sharding
+# --------------------------------------------------------------------- #
+def default_chunk_size(total: int, jobs: int) -> int:
+    """Requests per worker task: several chunks per worker, bounded for IPC.
+
+    Aiming at ~4 chunks per worker keeps the pool's task queue non-empty
+    long enough for work stealing to smooth skewed workloads, while the cap
+    keeps per-task pickling overhead amortised over real work.
+    """
+    if total <= 0:
+        return 1
+    return max(1, min(32, -(-total // (jobs * 4))))
+
+
+def shard(items: Sequence[_T], chunk_size: int) -> list[tuple[int, tuple[_T, ...]]]:
+    """Split *items* into contiguous ``(start_index, chunk)`` shards."""
+    if chunk_size < 1:
+        raise ParallelError("chunk_size must be at least 1")
+    return [
+        (start, tuple(items[start : start + chunk_size]))
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# The generic pool harness
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """A worker-side failure shipped back as a value (never as a dead worker)."""
+
+    kind: str  # "interrupt" | "error"
+    message: str
+    details: str
+
+
+def _guarded_call(fn: Callable[[Any], Any], payload: Any) -> Any:
+    """Run one task, converting every failure — even ``KeyboardInterrupt`` —
+    into a :class:`_WorkerFailure` value.
+
+    ``multiprocessing.Pool`` workers only survive ``Exception``; a
+    ``BaseException`` escaping a task kills the worker and the lost task
+    hangs ``imap`` forever.  Catching everything here is what makes
+    shutdown clean and testable.
+    """
+    try:
+        return fn(payload)
+    except Exception as error:  # noqa: BLE001 - shipped to the parent
+        return _WorkerFailure("error", repr(error), traceback.format_exc())
+    except BaseException as error:  # noqa: BLE001 - incl. KeyboardInterrupt
+        kind = "interrupt" if isinstance(error, KeyboardInterrupt) else "error"
+        return _WorkerFailure(kind, repr(error), traceback.format_exc())
+
+
+def _reraise(failure: _WorkerFailure) -> None:
+    if failure.kind == "interrupt":
+        raise KeyboardInterrupt(failure.message)
+    raise ParallelError(f"worker failed: {failure.message}\n{failure.details}")
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork (where available) inherits registered plugin backends/strategies
+    # and imported modules; spawn works too but re-imports from scratch.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def pool_imap(
+    fn: Callable[[Any], Any],
+    payloads: Iterable[Any],
+    jobs: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    ordered: bool = True,
+) -> Iterator[Any]:
+    """Map *fn* over *payloads* on a worker pool, with clean shutdown.
+
+    *fn* must be a picklable module-level callable.  Results stream back in
+    payload order (``ordered=True``) or completion order; either way tasks
+    are pulled from a shared queue, so scheduling is work-stealing.  Worker
+    failures re-raise in the parent (``KeyboardInterrupt`` as itself,
+    everything else as :class:`ParallelError`); the pool is terminated and
+    joined on any exit path, including the caller closing the iterator
+    early.
+    """
+    if jobs < 1:
+        raise ParallelError("jobs must be at least 1")
+    payloads = list(payloads)
+    if not payloads:
+        return
+    context = _pool_context()
+    pool = context.Pool(processes=jobs, initializer=initializer, initargs=initargs)
+    clean_exit = False
+    try:
+        guarded = functools.partial(_guarded_call, fn)
+        iterator = pool.imap(guarded, payloads) if ordered else pool.imap_unordered(guarded, payloads)
+        for result in iterator:
+            if isinstance(result, _WorkerFailure):
+                _reraise(result)
+            yield result
+        pool.close()
+        clean_exit = True
+    finally:
+        if not clean_exit:
+            pool.terminate()
+        pool.join()
+
+
+# --------------------------------------------------------------------- #
+# The Session.batch() worker path
+# --------------------------------------------------------------------- #
+#: The rehydrated per-process session of the current batch (pool initializer),
+#: or the recorded rehydration failure.  An initializer must never raise: a
+#: worker dying during bootstrap makes the pool respawn it in an unbounded
+#: loop (the lost task is never executed, so ``imap`` blocks forever) —
+#: reachable e.g. under ``spawn`` when a plugin backend is not registered in
+#: the re-imported worker.  The first task re-raises the recorded failure
+#: instead, which ships back to the parent as a :class:`ParallelError`.
+_WORKER_SESSION: Session | None = None
+_WORKER_INIT_ERROR: str | None = None
+
+
+def _batch_worker_init(spec: SessionSpec) -> None:
+    global _WORKER_SESSION, _WORKER_INIT_ERROR
+    try:
+        _WORKER_SESSION = spec.build()
+    except BaseException as error:  # noqa: BLE001 - see _WORKER_SESSION note
+        _WORKER_INIT_ERROR = repr(error)
+
+
+@dataclass(frozen=True)
+class _ChunkResult:
+    """One shard's outcomes plus what the shard did to the worker's cache."""
+
+    start: int
+    outcomes: tuple[Outcome, ...]
+    cache_delta: Mapping[str, tuple[int, int, int]]
+    elapsed: float
+
+
+def _run_request_chunk(payload: tuple[int, tuple[Any, ...], bool]) -> _ChunkResult:
+    start, requests, capture_errors = payload
+    session = _WORKER_SESSION
+    if session is None:
+        raise ParallelError(
+            "batch worker failed to rehydrate its session: "
+            f"{_WORKER_INIT_ERROR or 'no session spec received'}"
+        )
+    before = session.cache.snapshot()
+    started = time.perf_counter()
+    if capture_errors:
+        outcomes = tuple(session.submit_captured(request) for request in requests)
+    else:
+        outcomes = tuple(session.submit(request) for request in requests)
+    return _ChunkResult(
+        start=start,
+        outcomes=outcomes,
+        cache_delta=snapshot_delta(session.cache.snapshot(), before),
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def parallel_batch(
+    session: Session,
+    requests: Sequence[Any],
+    jobs: int,
+    chunk_size: int | None = None,
+    capture_errors: bool = False,
+) -> Iterator[Outcome]:
+    """Shard *requests* across *jobs* worker sessions; stream ordered outcomes.
+
+    This is the engine behind ``Session.batch(requests, jobs=N)``.  Every
+    worker rehydrates ``session.spec()`` (same backend, limits and
+    memoisation — fresh cache), chunks are scheduled work-stealing style,
+    and outcomes are yielded strictly in request order with each outcome's
+    ``request`` field rebound to the caller's own object.  Worker cache
+    deltas are folded into the parent session's cache statistics as the
+    chunks land, so ``session.cache`` reflects the fleet's work.
+
+    With ``capture_errors=False`` a failing request aborts the stream like
+    the serial path, but the worker-side exception arrives wrapped in
+    :class:`ParallelError` (the original object may not be picklable).
+    """
+    requests = list(requests)
+    if jobs <= 1 or len(requests) <= 1:
+        # Not worth a pool; keep semantics by delegating to the serial path.
+        yield from session.batch(requests, capture_errors=capture_errors)
+        return
+    size = chunk_size if chunk_size is not None else default_chunk_size(len(requests), jobs)
+    payloads = [
+        (start, chunk, capture_errors) for start, chunk in shard(requests, size)
+    ]
+    results = pool_imap(
+        _run_request_chunk,
+        payloads,
+        jobs=min(jobs, len(payloads)),
+        initializer=_batch_worker_init,
+        initargs=(session.spec(),),
+        ordered=True,
+    )
+    try:
+        for chunk in results:
+            session.cache.absorb_delta(chunk.cache_delta)
+            for offset, outcome in enumerate(chunk.outcomes):
+                original = requests[chunk.start + offset]
+                yield dataclasses.replace(outcome, request=original)
+    finally:
+        results.close()
+
+
+def merged_cache_stats(outcomes: Iterable[Outcome]) -> dict[str, tuple[int, int, int]]:
+    """Fold the per-outcome cache deltas of a batch into one fleet-wide snapshot.
+
+    Serial and parallel streams merge to the same totals whenever the
+    requests do not share cacheable work across shard boundaries (distinct
+    pairs); on repetitive streams the serial path shows more hits — the
+    memoisation-vs-parallelism trade-off the module docstring describes.
+    """
+    return merge_snapshots(outcome.cache for outcome in outcomes)

@@ -41,6 +41,7 @@ from repro.session.requests import (
 from repro.session.session import (
     Limits,
     Session,
+    SessionSpec,
     current_session,
     default_session,
     use_session,
@@ -56,6 +57,7 @@ __all__ = [
     "MpiRequest",
     "Outcome",
     "Session",
+    "SessionSpec",
     "StrategyFn",
     "backend_names",
     "current_session",

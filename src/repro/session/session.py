@@ -56,6 +56,7 @@ from repro.session.requests import (
 __all__ = [
     "Limits",
     "Session",
+    "SessionSpec",
     "current_session",
     "default_session",
     "use_session",
@@ -85,6 +86,47 @@ class Limits:
             raise SessionError("max_batch_size must be at least 1 (or None)")
         if self.fuzz_time_budget is not None and self.fuzz_time_budget <= 0:
             raise SessionError("fuzz_time_budget must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """The picklable fingerprint of a :class:`Session`'s configuration.
+
+    A session itself drags its whole engine cache (compiled plans, target
+    indexes) along, so it is the wrong thing to ship to a worker process.
+    The spec carries exactly the configuration — backend name, limits,
+    memoisation flag, label — and :meth:`build` rehydrates an equivalent
+    session (fresh cache, same behaviour) on the other side.  This is what
+    :mod:`repro.parallel` sends through pool initializers, and it works under
+    both ``fork`` and ``spawn`` start methods.
+
+    Note that backends registered through
+    :func:`~repro.session.register_backend` are resolved *by name* at
+    :meth:`build` time: under ``spawn`` the worker process must have imported
+    the module that registers the plugin before the spec is built.
+    """
+
+    backend: str = "indexed"
+    limits: Limits = Limits()
+    memoize: bool = True
+    name: str = "worker"
+    #: ``EngineCache.capacities`` of the source session: the worker's fresh
+    #: cache is sized identically, so eviction behaviour (and therefore the
+    #: cache-statistics stream) matches the parent's configuration.
+    cache_capacities: tuple[int, int, int] = (512, 128, 4096)
+
+    def build(self) -> "Session":
+        """Rehydrate an equivalent session (same configuration, fresh cache)."""
+        max_plans, max_indexes, max_results = self.cache_capacities
+        return Session(
+            backend=self.backend,
+            cache=EngineCache(
+                max_plans=max_plans, max_indexes=max_indexes, max_results=max_results
+            ),
+            limits=self.limits,
+            memoize=self.memoize,
+            name=self.name,
+        )
 
 
 _SESSION_COUNTER = itertools.count(1)
@@ -492,24 +534,87 @@ class Session:
             return self.mpi(request)
         raise SessionError(f"cannot dispatch request of type {type(request).__name__}")
 
+    def submit_captured(self, request: Any) -> Outcome:
+        """Execute one request, folding any failure into an error outcome.
+
+        This is the per-request step of ``batch(capture_errors=True)``; the
+        parallel worker path calls the same method so serial and sharded
+        streams render failures identically.
+        """
+        try:
+            return self.submit(request)
+        except Exception as error:  # noqa: BLE001 - service streams must survive
+            return Outcome(request=request, value=None, error=repr(error))
+
+    def spec(self, name: str | None = None) -> SessionSpec:
+        """The picklable :class:`SessionSpec` that rehydrates this session's twin.
+
+        The spec carries the backend *name*, limits and memoisation flag —
+        not the cache — so a worker process can build an equivalent session
+        cheaply (see :mod:`repro.parallel`).
+        """
+        return SessionSpec(
+            backend=self.backend_name,
+            limits=self.limits,
+            memoize=self.memoize,
+            name=name if name is not None else f"{self.name}-worker",
+            cache_capacities=self.cache.capacities,
+        )
+
     def batch(
         self,
         requests: Iterable[ContainmentRequest | EvaluationRequest | MpiRequest],
         capture_errors: bool = False,
+        jobs: int = 1,
+        chunk_size: int | None = None,
     ) -> Iterator[Outcome]:
         """Stream outcomes for a sweep of heterogeneous requests.
 
-        Execution is lazy (one request at a time, results yielded as they
-        finish) and *amortised*: every request runs against the session's
-        engine cache, so repeated sources, targets, and probe sweeps reuse
-        compiled match plans, shared target indexes, memoised scalar
-        results — and, with ``memoize`` on, whole decision results — across
-        the stream, the service-path equivalent of the engine's batch APIs.  With ``capture_errors=True`` a failing request
-        yields an :class:`Outcome` carrying the error instead of raising,
-        so one poisoned request cannot kill the stream.  The session's
+        With ``jobs=1`` (the default) execution is lazy (one request at a
+        time, results yielded as they finish) and *amortised*: every request
+        runs against the session's engine cache, so repeated sources,
+        targets, and probe sweeps reuse compiled match plans, shared target
+        indexes, memoised scalar results — and, with ``memoize`` on, whole
+        decision results — across the stream, the service-path equivalent of
+        the engine's batch APIs.
+
+        With ``jobs > 1`` the request stream is sharded across a worker
+        pool (:func:`repro.parallel.parallel_batch`): each worker runs its
+        own session built from :meth:`spec`, chunks are scheduled
+        work-stealing style so skewed workloads balance, outcomes stream
+        back **in request order** with the same verdicts and certificates
+        as the serial path, and worker cache deltas are folded back into
+        this session's cache statistics.  ``chunk_size`` overrides the
+        chunking heuristic (requests per worker task).
+
+        With ``capture_errors=True`` a failing request yields an
+        :class:`Outcome` carrying the error instead of raising, so one
+        poisoned request cannot kill the stream.  The session's
         ``max_batch_size`` limit bounds how many requests are consumed.
         """
+        if jobs < 1:
+            raise SessionError("jobs must be at least 1")
         limit = self.limits.max_batch_size
+
+        if jobs > 1:
+            materialized = []
+            for index, request in enumerate(requests):
+                if limit is not None and index >= limit:
+                    raise SessionError(
+                        f"batch exceeded the session's max_batch_size limit of {limit}"
+                    )
+                materialized.append(request)
+            from repro.parallel import parallel_batch
+
+            yield from parallel_batch(
+                self,
+                materialized,
+                jobs=jobs,
+                chunk_size=chunk_size,
+                capture_errors=capture_errors,
+            )
+            return
+
         for index, request in enumerate(requests):
             if limit is not None and index >= limit:
                 raise SessionError(
@@ -518,10 +623,7 @@ class Session:
             if not capture_errors:
                 yield self.submit(request)
                 continue
-            try:
-                yield self.submit(request)
-            except Exception as error:  # noqa: BLE001 - service streams must survive
-                yield Outcome(request=request, value=None, error=repr(error))
+            yield self.submit_captured(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session({self.name!r}, backend={self.backend_name!r})"

@@ -8,12 +8,18 @@ and pushes everything through the differential oracle.  Each case derives
 its own RNG stream from ``(campaign seed, case index)``, so any case
 reproduces in isolation no matter how the work was sharded.
 
-Execution is either inline (``jobs <= 1``) or on a ``multiprocessing``
-pool: the case indices are chunked, each worker reports its results
-together with the snapshot delta of its process-wide engine cache, and the
-campaign report aggregates the fleet-wide cache statistics through
-:func:`repro.engine.merge_snapshots`.  Both time and case budgets are
-enforced between chunks.
+Execution is either inline (``jobs <= 1``) or sharded across the worker
+pool harness of :mod:`repro.parallel` (the same one ``Session.batch``
+uses): the case indices are chunked, each worker rehydrates the driving
+session from its :class:`~repro.session.SessionSpec` (fresh cache, same
+backend and limits) and reports its results together with the snapshot
+delta of its cache, and the campaign report aggregates the fleet-wide
+cache statistics through :func:`repro.engine.merge_snapshots`.  Because
+every case derives its RNG streams from ``(campaign seed, case index)``
+alone, the generated corpus is byte-identical no matter how many jobs ran
+it or which worker drew which chunk.  Both time and case budgets are
+enforced between chunks; exhausting the time budget closes the result
+iterator, which terminates and joins the pool.
 
 Failures are shrunk in the parent process with the delta-debugging shrinker
 (the predicate re-runs the oracle and asks for a discrepancy of the same
@@ -24,7 +30,6 @@ kind), and the whole campaign can be persisted as a replayable corpus via
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import random
 import time
 from contextlib import nullcontext
@@ -39,6 +44,7 @@ from repro.engine import (
     snapshot_delta,
 )
 from repro.exceptions import VerifyError
+from repro.parallel import pool_imap
 from repro.queries.cq import ConjunctiveQuery
 from repro.verify.corpus import CorpusEntry, builtin_pairs
 from repro.verify.metamorphic import MUTATIONS, expected_verdict, mutation_by_name
@@ -296,10 +302,45 @@ def _run_chunk(payload: tuple[CampaignConfig, tuple[int, ...]]) -> tuple[
     list[CaseResult], dict[str, tuple[int, int, int]]
 ]:
     """Pool worker: run a chunk of case indices, report the cache delta."""
+    if _WORKER_INIT_ERROR is not None:
+        raise VerifyError(
+            f"campaign worker failed to rehydrate its session: {_WORKER_INIT_ERROR}"
+        )
     config, indices = payload
     before = default_cache().snapshot()
     results = [run_case(generate_case(config, index), config) for index in indices]
     return results, snapshot_delta(default_cache().snapshot(), before)
+
+
+#: Keeps the worker's rehydrated session activated for the process lifetime,
+#: and any rehydration failure for the first task to report.
+_WORKER_SESSION_CONTEXT = None
+_WORKER_INIT_ERROR: str | None = None
+
+
+def _campaign_worker_init(spec) -> None:
+    """Pool initializer: rehydrate the driving session in the worker.
+
+    With a :class:`~repro.session.SessionSpec`, the worker builds an
+    equivalent session (same backend and limits, fresh cache) and leaves it
+    activated, so ``default_cache()`` and backend lookups inside
+    :func:`run_case` resolve to the worker session — under both ``fork``
+    and ``spawn`` start methods.  Without one the worker keeps the
+    context's process-wide defaults, as before.
+
+    Failures are recorded, never raised: an initializer that kills its
+    worker would make the pool respawn it in an unbounded loop, hanging
+    the campaign instead of failing it.
+    """
+    global _WORKER_SESSION_CONTEXT, _WORKER_INIT_ERROR
+    if spec is None:
+        return
+    try:
+        context = spec.build().activate()
+        context.__enter__()
+        _WORKER_SESSION_CONTEXT = context
+    except BaseException as error:  # noqa: BLE001 - workers must reach their tasks
+        _WORKER_INIT_ERROR = repr(error)
 
 
 @dataclass
@@ -397,17 +438,18 @@ def run_campaign(config: CampaignConfig | None = None, session=None) -> Campaign
     With *session* (a :class:`repro.session.Session`), the campaign runs
     with that session active: inline decisions resolve backends through the
     session (sharing its engine cache, which the report's cache statistics
-    then reflect), and with ``fork``-started worker pools each worker
-    inherits a copy-on-write snapshot of the session context.  Without one,
-    the campaign uses the context's current defaults, as before.
+    then reflect), and worker pools rehydrate an equivalent session per
+    worker from the session's :meth:`~repro.session.Session.spec`.  Without
+    one, the campaign uses the context's current defaults, as before.
     """
     config = config or CampaignConfig()
     context = session.activate() if session is not None else nullcontext()
+    spec = session.spec() if session is not None else None
     with context:
-        return _run_campaign(config)
+        return _run_campaign(config, spec)
 
 
-def _run_campaign(config: CampaignConfig) -> CampaignReport:
+def _run_campaign(config: CampaignConfig, spec=None) -> CampaignReport:
     started = time.perf_counter()
     results: list[CaseResult] = []
     snapshots: list[dict[str, tuple[int, int, int]]] = []
@@ -429,16 +471,26 @@ def _run_campaign(config: CampaignConfig) -> CampaignReport:
             results.extend(chunk_results)
             snapshots.append(snapshot)
     else:
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-        with context.Pool(processes=config.jobs) as pool:
-            for chunk_results, snapshot in pool.imap_unordered(_run_chunk, payloads):
+        # The shared pool harness: chunked work stealing, worker failures
+        # re-raised in the parent, pool terminated+joined when the result
+        # iterator is closed (normally or by the time budget).
+        chunk_stream = pool_imap(
+            _run_chunk,
+            payloads,
+            jobs=config.jobs,
+            initializer=_campaign_worker_init,
+            initargs=(spec,),
+            ordered=False,
+        )
+        try:
+            for chunk_results, snapshot in chunk_stream:
                 results.extend(chunk_results)
                 snapshots.append(snapshot)
                 if out_of_time():
                     stopped_early = True
-                    pool.terminate()
                     break
+        finally:
+            chunk_stream.close()
 
     results.sort(key=lambda result: result.index)
     failures = [failure for result in results for failure in result.failures]

@@ -1,0 +1,349 @@
+"""Large-scale pair families: the workloads of the parallel batch layer.
+
+The structured families of :mod:`repro.workloads.structured` are parameter
+sweeps — one integer, a handful of distinct instances.  Scaling experiments
+(``Session.batch(jobs=N)``, ``benchmarks/bench_e14_parallel.py``) need the
+opposite: *wide* families that produce hundreds to tens of thousands of
+**distinct** (containee, containing) pairs with mixed verdicts, so that no
+memoisation layer can collapse the work and the sharded execution path is
+actually exercised.  Three families cover the shapes a rewrite enumerator
+would generate:
+
+* :func:`wide_star_pair` / :func:`star_pair_family` — stars with varying
+  ray counts, extra existential rays and multiplicity boosts on either
+  side (boosting the containing side preserves containment, boosting the
+  containee side tends to break it);
+* :func:`long_chain_pair` / :func:`chain_pair_family` — chains of varying
+  length with relaxation atoms and multiplicity boosts;
+* :func:`random_acyclic_pair` / :func:`acyclic_pair_family` — random
+  DAG-shaped projection-free containees (every atom is an edge ``R(x_i,
+  x_j)`` with ``i < j``, so the body graph is acyclic by construction)
+  whose containing query is a seeded relaxation; this family is wide
+  enough to stay duplicate-free at the 10⁴ scale.
+
+:func:`mixed_pairs` blends the three deterministically per ``(seed,
+index)`` — the same stream no matter how it is later sharded — and
+:func:`mixed_requests` wraps the blend into
+:class:`~repro.session.ContainmentRequest` values, optionally enforcing
+that no two requests share a containee or containing query (``distinct=
+True``), the precondition under which serial and parallel cache statistics
+merge to identical totals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.exceptions import WorkloadError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.atoms import Atom
+from repro.relational.terms import Variable
+from repro.session.requests import ContainmentRequest
+from repro.workloads.structured import projection_free_chain, projection_free_star
+
+__all__ = [
+    "acyclic_pair_family",
+    "chain_pair_family",
+    "long_chain_pair",
+    "mixed_pairs",
+    "mixed_requests",
+    "random_acyclic_pair",
+    "star_pair_family",
+    "wide_star_pair",
+]
+
+Pair = tuple[ConjunctiveQuery, ConjunctiveQuery]
+
+
+# --------------------------------------------------------------------- #
+# Wide stars
+# --------------------------------------------------------------------- #
+def wide_star_pair(
+    rays: int,
+    extra_rays: int = 1,
+    containee_boost: int = 1,
+    containing_boost: int = 1,
+) -> Pair:
+    """A star containee vs. a containing star with extra existential rays.
+
+    ``containee_boost`` / ``containing_boost`` multiply the body
+    multiplicities of the respective side; boosting the containing side
+    only grows the identity mapping's contribution (containment-friendly),
+    boosting the containee side grows the monomial (containment-hostile),
+    so sweeping both produces mixed verdicts near the boundary.
+    """
+    if rays < 1 or extra_rays < 0:
+        raise WorkloadError("stars need at least one ray and a non-negative extra count")
+    if containee_boost < 1 or containing_boost < 1:
+        raise WorkloadError("multiplicity boosts must be at least 1")
+    containee = projection_free_star(rays, multiplicity=containee_boost, name="star1")
+    center = Variable("c")
+    body = {
+        Atom("R", (center, Variable(f"l{i}"))): containing_boost for i in range(rays)
+    }
+    for i in range(extra_rays):
+        body[Atom("R", (center, Variable(f"z{i}")))] = 1
+    return containee, ConjunctiveQuery(containee.head, body, name="star2")
+
+
+def star_pair_family(count: int, seed: int = 0, max_rays: int = 3) -> list[Pair]:
+    """*count* seeded wide-star pairs with varying rays and boosts."""
+    return [_star_pair(seed, index, max_rays) for index in range(count)]
+
+
+def _star_pair(seed: int, index: int, max_rays: int) -> Pair:
+    rng = random.Random(f"{seed}:{index}:star")
+    return wide_star_pair(
+        rays=rng.randint(1, max_rays),
+        extra_rays=rng.randint(0, 2),
+        containee_boost=rng.randint(1, 2),
+        containing_boost=rng.randint(1, 2),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Long chains
+# --------------------------------------------------------------------- #
+def long_chain_pair(
+    length: int,
+    relax: int = 1,
+    containee_boost: int = 1,
+    containing_boost: int = 1,
+) -> Pair:
+    """A projection-free chain containee vs. a relaxed, boosted containing chain."""
+    if length < 1 or relax < 0:
+        raise WorkloadError("chains need at least one edge and a non-negative relax count")
+    if containee_boost < 1 or containing_boost < 1:
+        raise WorkloadError("multiplicity boosts must be at least 1")
+    containee = projection_free_chain(length, multiplicity=containee_boost, name="chain1")
+    body = {
+        atom: containing_boost for atom in projection_free_chain(length).body_atoms()
+    }
+    for index in range(relax):
+        body[Atom("R", (Variable("x0"), Variable(f"y{index}")))] = 1
+    return containee, ConjunctiveQuery(containee.head, body, name="chain2")
+
+
+def chain_pair_family(count: int, seed: int = 0, max_length: int = 5) -> list[Pair]:
+    """*count* seeded long-chain pairs with varying lengths and boosts."""
+    return [_chain_pair(seed, index, max_length) for index in range(count)]
+
+
+def _chain_pair(seed: int, index: int, max_length: int) -> Pair:
+    rng = random.Random(f"{seed}:{index}:chain")
+    return long_chain_pair(
+        length=rng.randint(1, max_length),
+        relax=rng.randint(0, 2),
+        containee_boost=rng.randint(1, 2),
+        containing_boost=rng.randint(1, 2),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Random acyclic pairs
+# --------------------------------------------------------------------- #
+def random_acyclic_pair(
+    seed: int,
+    num_atoms: int = 4,
+    num_variables: int = 5,
+    max_multiplicity: int = 2,
+) -> Pair:
+    """A random DAG-shaped projection-free containee and a seeded relaxation.
+
+    Every body atom is an edge ``R(x_i, x_j)`` with ``i < j`` over an
+    ordered variable pool, so the body graph is acyclic by construction.
+    The head is the tuple of all variables the body uses (projection-free).
+    The containing query starts from the same body and is relaxed: some
+    variable occurrences are renamed apart into fresh existential
+    variables and multiplicities may be lowered — containment-rich but not
+    containment-certain, like the output of a rewrite enumerator.
+
+    The family is wide (edge sets × multiplicities × relaxations), so
+    draws stay essentially duplicate-free into the 10⁴-pair range.
+    """
+    if num_atoms < 1 or num_variables < 2:
+        raise WorkloadError("acyclic pairs need at least one atom and two variables")
+    if max_multiplicity < 1:
+        raise WorkloadError("max_multiplicity must be at least 1")
+    rng = random.Random(f"acyclic:{seed}:{num_atoms}:{num_variables}:{max_multiplicity}")
+
+    counts: dict[Atom, int] = {}
+    for _ in range(num_atoms):
+        low = rng.randrange(num_variables - 1)
+        high = rng.randrange(low + 1, num_variables)
+        atom = Atom("R", (Variable(f"x{low}"), Variable(f"x{high}")))
+        counts[atom] = counts.get(atom, 0) + rng.randint(1, max_multiplicity)
+
+    used = sorted({v.name for atom in counts for v in atom.variables()})
+    head = tuple(Variable(name) for name in used)
+    containee = ConjunctiveQuery(head, counts, name="q1")
+
+    fresh = 0
+    relaxed: dict[Atom, int] = {}
+    for atom, multiplicity in counts.items():
+        terms = []
+        for term in atom.terms:
+            if rng.random() < 0.25:
+                terms.append(Variable(f"z{fresh}"))
+                fresh += 1
+            else:
+                terms.append(term)
+        image = Atom(atom.relation, tuple(terms))
+        lowered = max(1, multiplicity - rng.randint(0, 1))
+        relaxed[image] = relaxed.get(image, 0) + lowered
+
+    # Keep the containing query safe: every head variable must still occur.
+    for variable in head:
+        if not any(variable in atom.variables() for atom in relaxed):
+            original = next(
+                atom for atom in counts if variable in atom.variables()
+            )
+            relaxed[original] = relaxed.get(original, 0) + 1
+
+    return containee, ConjunctiveQuery(head, relaxed, name="q2")
+
+
+def acyclic_pair_family(
+    count: int,
+    seed: int = 0,
+    num_atoms: int = 4,
+    num_variables: int = 5,
+) -> list[Pair]:
+    """*count* seeded random-acyclic pairs (one independent draw per index)."""
+    rng = random.Random(f"{seed}:acyclic-family")
+    return [
+        random_acyclic_pair(
+            rng.randrange(2**30), num_atoms=num_atoms, num_variables=num_variables
+        )
+        for _ in range(count)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Mixed workloads
+# --------------------------------------------------------------------- #
+#: Family blend of the mixed workload: (name, weight).  The acyclic family
+#: dominates because it is the one wide enough to stay duplicate-free.
+_FAMILIES: tuple[tuple[str, float], ...] = (
+    ("acyclic", 0.5),
+    ("star", 0.25),
+    ("chain", 0.25),
+)
+
+
+def _mixed_pair(
+    seed: int,
+    index: int,
+    acyclic_atoms: int = 4,
+    acyclic_variables: int = 5,
+    max_rays: int = 3,
+    max_length: int = 5,
+) -> tuple[str, Pair]:
+    rng = random.Random(f"{seed}:{index}:mix")
+    choice = rng.random()
+    cumulative = 0.0
+    name = _FAMILIES[-1][0]
+    for family, weight in _FAMILIES:
+        cumulative += weight
+        if choice < cumulative:
+            name = family
+            break
+    if name == "acyclic":
+        draw = rng.randrange(2**30)
+        return f"acyclic[{draw}]", random_acyclic_pair(
+            draw, num_atoms=acyclic_atoms, num_variables=acyclic_variables
+        )
+    if name == "star":
+        return f"star[{index}]", _star_pair(seed, index, max_rays=max_rays)
+    return f"chain[{index}]", _chain_pair(seed, index, max_length=max_length)
+
+
+def mixed_pairs(
+    count: int,
+    seed: int = 0,
+    acyclic_atoms: int = 4,
+    acyclic_variables: int = 5,
+    max_rays: int = 3,
+    max_length: int = 5,
+) -> Iterator[tuple[str, Pair]]:
+    """A deterministic blended stream of ``(origin, pair)`` at any scale.
+
+    Each element is a pure function of ``(seed, index)`` and the size
+    parameters — the stream is identical no matter how it is later chunked
+    or sharded, the same contract the fuzz campaign's case generator
+    keeps.  The size parameters scale per-pair decision cost (larger
+    acyclic bodies mean more containment mappings and bigger Diophantine
+    systems); sizes much beyond ``6 × 6`` start to hit the exact solver's
+    row cap.
+    """
+    for index in range(count):
+        yield _mixed_pair(
+            seed,
+            index,
+            acyclic_atoms=acyclic_atoms,
+            acyclic_variables=acyclic_variables,
+            max_rays=max_rays,
+            max_length=max_length,
+        )
+
+
+def mixed_requests(
+    count: int,
+    seed: int = 0,
+    distinct: bool = False,
+    strategy: str = "most-general",
+    verify_certificates: bool = True,
+    acyclic_atoms: int = 4,
+    acyclic_variables: int = 5,
+    max_rays: int = 3,
+    max_length: int = 5,
+) -> list[ContainmentRequest]:
+    """*count* containment requests over the mixed families.
+
+    With ``distinct=True`` no two requests share a containee *or* a
+    containing **atom set**: the engine's plan and index fingerprints hash
+    deduplicated atoms, so two queries differing only in multiplicities
+    would still share compiled artefacts; pairs whose atom sets were
+    already drawn are skipped and replaced by later indices.  Together
+    with ``verify_certificates=False`` (certificate replay evaluates
+    queries on counterexample bags, and tiny bags recur across pairs)
+    distinctness removes cacheable work *between* requests, which is the
+    precondition under which serial and sharded runs produce identical
+    merged cache statistics — what ``bench_e14_parallel`` asserts.
+    """
+    requests: list[ContainmentRequest] = []
+    seen: set[frozenset] = set()
+    index = 0
+    budget = max(count * 50, 1000)
+    while len(requests) < count:
+        if index >= budget:
+            raise WorkloadError(
+                f"could not draw {count} distinct mixed pairs within {budget} attempts; "
+                "the requested scale exceeds the families' variety"
+            )
+        _, (containee, containing) = _mixed_pair(
+            seed,
+            index,
+            acyclic_atoms=acyclic_atoms,
+            acyclic_variables=acyclic_variables,
+            max_rays=max_rays,
+            max_length=max_length,
+        )
+        index += 1
+        if distinct:
+            containee_key = frozenset(containee.body_atoms())
+            containing_key = frozenset(containing.body_atoms())
+            if containee_key in seen or containing_key in seen:
+                continue
+            seen.add(containee_key)
+            seen.add(containing_key)
+        requests.append(
+            ContainmentRequest(
+                containee,
+                containing,
+                strategy=strategy,
+                verify_certificates=verify_certificates,
+            )
+        )
+    return requests

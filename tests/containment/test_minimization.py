@@ -46,6 +46,44 @@ class TestCore:
         assert core(query).multiplicity(query.body_atoms()[0]) == 1
 
 
+class TestDuplicatedAtoms:
+    """Regression tests: candidate atoms are removed by position, not ``!=``.
+
+    Filtering with ``!=`` drops *every* syntactically equal occurrence at
+    once: the fold target loses all copies (so a duplicated atom can never
+    be folded into its twin) and a single greedy step can delete several
+    occurrences.  Removal must always be positional.
+    """
+
+    def test_duplicate_occurrences_fold_into_each_other(self):
+        from repro.containment.minimization import _folds_without_position
+        from repro.relational.atoms import Atom
+        from repro.relational.terms import Variable
+
+        x, y = Variable("x"), Variable("y")
+        atoms = (Atom("R", (x, y)), Atom("R", (x, y)))
+        # Removing one occurrence leaves its twin; the identity endomorphism
+        # folds the full list into the remainder.  The old ``!=`` filter
+        # emptied the target and answered False.
+        assert _folds_without_position(atoms, (x,), 0)
+        assert _folds_without_position(atoms, (x,), 1)
+
+    def test_core_of_query_with_duplicated_atom(self):
+        query = parse_cq("q(x) <- R^2(x, y), R(x, z)")
+        minimised = core(query)
+        assert len(minimised.body_atoms()) == 1
+        assert minimised.degree() == 1  # multiplicities collapse: set notion
+        assert are_set_equivalent(query, minimised)
+
+    def test_redundant_atoms_with_duplicated_atom(self):
+        query = parse_cq("q(x) <- R^3(x, y)")
+        # The body has a single distinct atom; under set semantics there is
+        # nothing to fold it into, duplicated occurrences notwithstanding.
+        assert redundant_atoms(query) == []
+        assert is_minimal(query)
+        assert core(query) == parse_cq("q(x) <- R(x, y)").with_name("core(q)")
+
+
 class TestBagSemanticsCaveat:
     def test_set_minimisation_is_not_bag_sound(self):
         """Dropping a duplicate atom preserves set semantics but not bag semantics.

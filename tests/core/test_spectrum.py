@@ -1,6 +1,8 @@
 """Unit tests for the containment-spectrum comparison API."""
 
-from repro.core.spectrum import Relationship, compare
+import pytest
+
+from repro.core.spectrum import ContainmentSpectrum, Relationship, compare
 from repro.queries.parser import parse_cq
 from repro.workloads.paper_examples import section2_q1, section2_q2
 
@@ -76,3 +78,100 @@ class TestCompare:
     def test_describe_mentions_all_verdicts(self):
         text = compare(section2_q1(), section2_q2()).describe()
         assert "set:" in text and "bag:" in text
+
+
+#: The full verdict table over (set_forward, set_backward, bag_forward,
+#: bag_backward).  Rows where a bag direction claims True while its set
+#: direction is False are omitted: bag containment implies set containment,
+#: so such spectra cannot arise from compare().  ``None`` marks a direction
+#: outside the decidable fragment; when its set containment fails, the bag
+#: direction is refuted by implication, and when it holds, the direction is
+#: genuinely open and the verdict must not overclaim.
+VERDICT_TABLE = [
+    # both bag directions decided
+    (True, True, True, True, Relationship.EQUIVALENT),
+    (True, True, True, False, Relationship.CONTAINED),
+    (True, True, False, True, Relationship.CONTAINS),
+    (True, True, False, False, Relationship.SET_EQUIVALENT_ONLY),
+    (True, False, True, False, Relationship.CONTAINED),
+    (True, False, False, False, Relationship.SET_CONTAINED_ONLY),
+    (False, True, False, True, Relationship.CONTAINS),
+    (False, True, False, False, Relationship.SET_CONTAINED_ONLY),
+    (False, False, False, False, Relationship.INCOMPARABLE),
+    # forward undecidable, refuted by a failing forward set containment
+    (False, True, None, True, Relationship.CONTAINS),
+    (False, True, None, False, Relationship.SET_CONTAINED_ONLY),
+    (False, False, None, False, Relationship.INCOMPARABLE),
+    # backward undecidable, refuted by a failing backward set containment
+    (True, False, True, None, Relationship.CONTAINED),
+    (True, False, False, None, Relationship.SET_CONTAINED_ONLY),
+    (False, False, False, None, Relationship.INCOMPARABLE),
+    # forward genuinely open (its set containment holds): never a definite
+    # relationship the open direction could contradict
+    (True, True, None, True, Relationship.UNKNOWN),
+    (True, True, None, False, Relationship.UNKNOWN),
+    (True, False, None, False, Relationship.UNKNOWN),
+    # backward genuinely open
+    (True, True, True, None, Relationship.UNKNOWN),
+    (True, True, False, None, Relationship.UNKNOWN),
+    (False, True, False, None, Relationship.UNKNOWN),
+    # both undecidable
+    (True, True, None, None, Relationship.UNKNOWN),
+    (True, False, None, None, Relationship.UNKNOWN),
+    (False, True, None, None, Relationship.UNKNOWN),
+    (False, False, None, None, Relationship.INCOMPARABLE),
+]
+
+
+class TestVerdictTable:
+    @pytest.mark.parametrize(
+        "set_forward,set_backward,bag_forward,bag_backward,expected", VERDICT_TABLE
+    )
+    def test_relationship(self, set_forward, set_backward, bag_forward, bag_backward, expected):
+        left = parse_cq("q(x) <- R(x, x)")
+        spectrum = ContainmentSpectrum(
+            left=left,
+            right=left.with_name("copy"),
+            set_forward=set_forward,
+            set_backward=set_backward,
+            bag_forward=bag_forward,
+            bag_backward=bag_backward,
+        )
+        assert spectrum.relationship is expected
+
+    def test_table_covers_every_consistent_combination(self):
+        rows = {
+            (set_f, set_b, bag_f, bag_b)
+            for set_f, set_b, bag_f, bag_b, _ in VERDICT_TABLE
+        }
+        assert len(rows) == len(VERDICT_TABLE)  # no duplicate rows
+        consistent = {
+            (set_f, set_b, bag_f, bag_b)
+            for set_f in (True, False)
+            for set_b in (True, False)
+            for bag_f in (True, False, None)
+            for bag_b in (True, False, None)
+            # bag containment implies set containment
+            if not (bag_f is True and not set_f) and not (bag_b is True and not set_b)
+        }
+        assert rows == consistent
+
+    def test_open_directions_never_support_a_definite_verdict(self):
+        """The regression pinned here: one-sided ``None`` with the set
+        containment holding used to fall through to ``CONTAINED`` /
+        ``CONTAINS`` / ``SET_*`` verdicts the open direction could refute."""
+        left = parse_cq("q(x) <- R(x, x)")
+        for set_f, set_b, bag_f, bag_b, expected in VERDICT_TABLE:
+            spectrum = ContainmentSpectrum(
+                left=left,
+                right=left.with_name("copy"),
+                set_forward=set_f,
+                set_backward=set_b,
+                bag_forward=bag_f,
+                bag_backward=bag_b,
+            )
+            open_forward = bag_f is None and set_f
+            open_backward = bag_b is None and set_b
+            if open_forward or open_backward:
+                assert expected is Relationship.UNKNOWN
+                assert spectrum.relationship is Relationship.UNKNOWN

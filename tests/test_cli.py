@@ -155,6 +155,65 @@ class TestEngineFlags:
             build_parser().parse_args(["--engine-backend", "quantum", "set-decide", "a", "b"])
 
 
+class TestDecideBatch:
+    @pytest.fixture()
+    def corpus(self, tmp_path):
+        """A small saved corpus to batch-decide."""
+        path = str(tmp_path / "batch-corpus.json")
+        code = main(
+            [
+                "fuzz",
+                "--cases", "6",
+                "--seed", "2",
+                "--strategies", "most-general",
+                "--mutation-rate", "0",
+                "--no-shrink",
+                "--save-corpus", path,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_batch_decides_every_pair_in_order(self, capsys, corpus):
+        capsys.readouterr()
+        code = main(["decide", "--batch", corpus])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [line for line in captured.out.splitlines() if line.startswith("case-")]
+        assert [line.split(":")[0] for line in lines] == [f"case-{i}" for i in range(6)]
+        assert "6 pairs" in captured.out
+
+    def test_batch_with_jobs_matches_serial_output(self, capsys, corpus):
+        capsys.readouterr()
+        assert main(["decide", "--batch", corpus]) == 0
+        serial = capsys.readouterr().out
+
+        assert main(["decide", "--batch", corpus, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def verdicts(text):
+            return [
+                line.split(":")[1].split("[")[0].strip()
+                for line in text.splitlines()
+                if line.startswith("case-")
+            ]
+
+        assert verdicts(parallel) == verdicts(serial)
+        assert "jobs=2" in parallel
+
+    def test_batch_rejects_inline_queries(self, capsys, corpus):
+        code = main(["decide", "--batch", corpus, "q(x) <- R(x, x)", "q(x) <- R(x, x)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not both" in captured.err
+
+    def test_decide_without_queries_or_batch_is_a_clean_error(self, capsys):
+        code = main(["decide"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "decide needs two inline queries" in captured.err
+
+
 class TestFuzz:
     def test_smoke_campaign_is_clean(self, capsys):
         code = main(

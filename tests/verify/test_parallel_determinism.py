@@ -1,0 +1,54 @@
+"""Scheduling-independence of the fuzz campaign (``repro fuzz --jobs``).
+
+Case generation and per-case mutation RNG derive from ``(campaign seed,
+case index)`` alone, so a campaign's results — and the corpus it persists —
+must be byte-identical no matter how many worker processes ran it or which
+worker drew which chunk.
+"""
+
+from repro.session import Session
+from repro.verify.corpus import save_corpus
+from repro.verify.runner import CampaignConfig, campaign_corpus, run_campaign
+
+
+def _campaign(jobs: int, tmp_path, label: str):
+    config = CampaignConfig(
+        cases=18,
+        seed=5,
+        jobs=jobs,
+        mutation_rate=0.5,
+        shrink_failures=False,
+        chunk_size=3,
+    )
+    report = run_campaign(config)
+    path = tmp_path / f"corpus-{label}.json"
+    save_corpus(campaign_corpus(report), path)
+    return report, path.read_bytes()
+
+
+def test_fuzz_corpus_is_byte_identical_across_job_counts(tmp_path):
+    serial_report, serial_corpus = _campaign(1, tmp_path, "serial")
+    parallel_report, parallel_corpus = _campaign(3, tmp_path, "parallel")
+
+    assert serial_corpus == parallel_corpus
+    assert serial_report.case_results == parallel_report.case_results
+    assert serial_report.failures == parallel_report.failures
+    assert serial_report.ok == parallel_report.ok
+
+
+def test_fuzz_through_a_session_shards_with_rehydrated_workers(tmp_path):
+    """A session-driven campaign parallelises by rehydrating the session spec."""
+    session = Session(name="fuzz-parent")
+    outcome = session.fuzz(cases=12, seed=2, jobs=2, shrink_failures=False)
+    report = outcome.value
+    assert report.cases_run == 12
+    assert report.ok
+    # Worker cache activity was aggregated into the report.
+    assert report.engine_stats and any(
+        counts != (0, 0, 0) for counts in report.engine_stats.values()
+    )
+
+    serial = Session(name="fuzz-serial").fuzz(cases=12, seed=2, jobs=1, shrink_failures=False)
+    assert [r.consensus for r in report.case_results] == [
+        r.consensus for r in serial.value.case_results
+    ]

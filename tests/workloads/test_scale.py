@@ -1,0 +1,107 @@
+"""Tests for the large-scale pair families (``repro.workloads.scale``)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.session import ContainmentRequest
+from repro.workloads.scale import (
+    acyclic_pair_family,
+    chain_pair_family,
+    long_chain_pair,
+    mixed_pairs,
+    mixed_requests,
+    random_acyclic_pair,
+    star_pair_family,
+    wide_star_pair,
+)
+
+
+class TestRandomAcyclicPair:
+    def test_containee_is_projection_free_and_acyclic(self):
+        for seed in range(25):
+            containee, containing = random_acyclic_pair(seed)
+            assert containee.is_projection_free()
+            # Every edge goes from a lower-indexed variable to a strictly
+            # higher-indexed one, so the body digraph cannot have a cycle.
+            for atom in containee.body_atoms():
+                low, high = (int(term.name[1:]) for term in atom.terms)
+                assert low < high
+            # The containing query shares the head (grounding stays possible).
+            assert containing.head == containee.head
+
+    def test_pairs_are_deterministic_per_seed(self):
+        assert random_acyclic_pair(42) == random_acyclic_pair(42)
+        assert random_acyclic_pair(42) != random_acyclic_pair(43)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            random_acyclic_pair(0, num_atoms=0)
+        with pytest.raises(WorkloadError):
+            random_acyclic_pair(0, num_variables=1)
+        with pytest.raises(WorkloadError):
+            random_acyclic_pair(0, max_multiplicity=0)
+
+
+class TestStructuredFamilies:
+    def test_wide_star_pair_shapes(self):
+        containee, containing = wide_star_pair(2, extra_rays=2, containing_boost=3)
+        assert containee.is_projection_free()
+        assert len(containing.body_atoms()) == 4  # 2 shared rays + 2 existential
+        assert max(containing.body.values()) == 3
+        with pytest.raises(WorkloadError):
+            wide_star_pair(0)
+        with pytest.raises(WorkloadError):
+            wide_star_pair(1, containee_boost=0)
+
+    def test_long_chain_pair_shapes(self):
+        containee, containing = long_chain_pair(3, relax=2, containee_boost=2)
+        assert containee.degree() == 6  # 3 edges x boost 2
+        assert len(containing.body_atoms()) == 5  # 3 edges + 2 relax atoms
+        with pytest.raises(WorkloadError):
+            long_chain_pair(0)
+
+    def test_families_have_requested_sizes_and_are_seeded(self):
+        for family in (star_pair_family, chain_pair_family, acyclic_pair_family):
+            pairs = family(10, seed=3)
+            assert len(pairs) == 10
+            assert pairs == family(10, seed=3)
+            assert pairs != family(10, seed=4)
+
+
+class TestMixedWorkload:
+    def test_stream_is_a_pure_function_of_seed_and_index(self):
+        first = list(mixed_pairs(30, seed=8))
+        second = list(mixed_pairs(30, seed=8))
+        assert first == second
+        # Prefixes agree: element i never depends on how many were drawn.
+        assert first[:10] == list(mixed_pairs(10, seed=8))
+
+    def test_blend_covers_all_families(self):
+        origins = {origin.split("[")[0] for origin, _ in mixed_pairs(60, seed=0)}
+        assert origins == {"acyclic", "star", "chain"}
+
+    def test_mixed_requests_distinct_components(self):
+        requests = mixed_requests(40, seed=0, distinct=True)
+        assert all(isinstance(request, ContainmentRequest) for request in requests)
+        # No atom set recurs across requests (a pair may share one between
+        # its own sides — that sharing is within-request and parallelises
+        # identically; only cross-request sharing would skew cache stats).
+        seen = set()
+        for request in requests:
+            keys = {
+                frozenset(request.containee.body_atoms()),
+                frozenset(request.containing.body_atoms()),
+            }
+            assert not (keys & seen)
+            seen |= keys
+
+    def test_mixed_requests_passes_decision_options_through(self):
+        (request,) = mixed_requests(1, seed=0, verify_certificates=False, strategy="all-probes")
+        assert request.strategy == "all-probes"
+        assert request.verify_certificates is False
+
+    def test_distinct_generation_has_a_budget(self):
+        # Stars and chains alone cannot produce thousands of distinct atom
+        # sets; the acyclic family absorbs the demand instead of looping.
+        requests = mixed_requests(120, seed=0, distinct=True)
+        assert len(requests) == 120
