@@ -15,7 +15,13 @@ Run standalone: ``PYTHONPATH=src python benchmarks/bench_e12_fuzz.py``.
 
 from __future__ import annotations
 
+import sys
 import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from record import write_record  # noqa: E402
 
 from repro.verify.corpus import builtin_pairs
 from repro.verify.oracles import OracleConfig, run_differential_oracle
@@ -67,12 +73,27 @@ def main() -> None:
     print("E12 — fuzz-campaign throughput")
     print()
     print("oracle cost per pair, by axis (built-in corpus):")
-    for axis, seconds in sorted(bench_oracle_axis_breakdown().items(), key=lambda kv: kv[1]):
+    axis_timings = bench_oracle_axis_breakdown()
+    for axis, seconds in sorted(axis_timings.items(), key=lambda kv: kv[1]):
         print(f"  {axis:<24} {seconds * 1000:8.2f} ms")
     print()
     print(f"campaign throughput ({CAMPAIGN_CASES} cases, full oracle axes):")
-    for jobs, rate in bench_campaign_throughput().items():
+    rates = bench_campaign_throughput()
+    for jobs, rate in rates.items():
         print(f"  jobs={jobs}: {rate:6.1f} cases/s")
+    path = write_record(
+        "e12",
+        {
+            "source": "bench_e12_fuzz",
+            "case_count": CAMPAIGN_CASES,
+            "axis_seconds_per_pair": {k: round(v, 6) for k, v in axis_timings.items()},
+            "metrics": {
+                f"cases_per_second_jobs{jobs}": round(rate, 2) for jobs, rate in rates.items()
+            },
+            "thresholds": {},
+        },
+    )
+    print(f"json record written to {path}")
 
 
 if __name__ == "__main__":

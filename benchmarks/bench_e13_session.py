@@ -24,8 +24,14 @@ options used by the other experiments.
 
 from __future__ import annotations
 
+import sys
 import time
+from pathlib import Path
 from typing import Callable, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from record import write_record  # noqa: E402
 
 from repro.session import ContainmentRequest, Session
 from repro.workloads.structured import chain_containment_pair, star_containment_pair
@@ -100,6 +106,25 @@ def bench_e13_session_batch() -> None:
         f"Session.batch() must amortise repeated decisions: expected ≥{REQUIRED_REPEAT_SPEEDUP}x "
         f"over cold one-shot sessions on the repeated-pair ×64 sweep, measured {speedup:.2f}x"
     )
+
+    path = write_record(
+        "e13",
+        {
+            "source": "bench_e13_session",
+            "case_count": len(rows),
+            "timings_seconds": {
+                label: {
+                    "one_shot": round(one, 6),
+                    "no_memo": round(plans, 6),
+                    "memoised": round(memo, 6),
+                }
+                for label, one, plans, memo in rows
+            },
+            "metrics": {"memoised_over_one_shot_x64": round(min(speedup, 10_000.0), 2)},
+            "thresholds": {"memoised_over_one_shot_x64": REQUIRED_REPEAT_SPEEDUP},
+        },
+    )
+    print(f"json record written to {path}")
 
     # The amortisation must be visible in the cache counters, not just time:
     # from the second request on, the repeated sweep answers from the memo.

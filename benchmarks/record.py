@@ -1,0 +1,110 @@
+"""Machine-readable benchmark records: ``BENCH_E*.json`` at the repo root.
+
+Every experiment writes one JSON record per run so the perf trajectory of
+the repository is a set of diffable files instead of scrollback:
+
+* the standalone benchmark mains (``bench_e11_engine.py``,
+  ``bench_e14_parallel.py``, ...) call :func:`write_record` with their
+  timings, speedup ratios, backends and case counts, plus the **committed
+  thresholds** their assertions enforce;
+* the pytest-benchmark path writes records automatically through the
+  session hook in ``benchmarks/conftest.py`` (one record per ``bench_e*``
+  module, covering E1–E10 as well);
+* ``benchmarks/report.py --records`` aggregates every record into one
+  table, and ``--check`` fails when any recorded metric regresses more
+  than :data:`REGRESSION_TOLERANCE` below its committed threshold — the
+  CI ``bench-smoke`` job's gate.
+
+Records land at the repository root (``BENCH_E11.json`` next to
+``README.md``) unless ``$BENCH_RECORD_DIR`` points elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "check_record",
+    "load_records",
+    "record_path",
+    "write_record",
+]
+
+#: A metric may fall this fraction below its committed threshold before the
+#: regression check fails (smoke runs on shared CI hardware are noisy; the
+#: full-size benchmark asserts the thresholds exactly).
+REGRESSION_TOLERANCE = 0.25
+
+#: The repository root — records sit next to README.md so they are easy to
+#: find, diff and upload as CI artifacts.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_path(experiment: str) -> Path:
+    """Where the record of *experiment* (e.g. ``"e11"``) lives."""
+    directory = os.environ.get("BENCH_RECORD_DIR")
+    base = Path(directory) if directory else _REPO_ROOT
+    return base / f"BENCH_{experiment.upper()}.json"
+
+
+def write_record(experiment: str, payload: dict) -> Path:
+    """Persist one experiment's record, stamping the environment context.
+
+    *payload* should carry ``metrics`` (measured numbers), ``thresholds``
+    (the committed minima ``report.py --check`` compares against, empty if
+    the experiment asserts nothing) and whatever experiment-specific
+    context makes the numbers interpretable (backend, case counts, sizes).
+    """
+    record = {
+        "experiment": experiment,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "argv": sys.argv[1:],
+        **payload,
+    }
+    path = record_path(experiment)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_records(directory: Path | None = None) -> dict[str, dict]:
+    """Every ``BENCH_E*.json`` in *directory* (repo root by default)."""
+    base = directory if directory is not None else _REPO_ROOT
+    records: dict[str, dict] = {}
+    for path in sorted(base.glob("BENCH_E*.json")):
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+        records[record.get("experiment", path.stem.lower())] = record
+    return records
+
+
+def check_record(record: dict) -> list[str]:
+    """Regression findings for one record (empty = healthy).
+
+    A metric regresses when it falls more than :data:`REGRESSION_TOLERANCE`
+    below the threshold committed next to it in the record.
+    """
+    findings = []
+    thresholds = record.get("thresholds", {})
+    metrics = record.get("metrics", {})
+    for name, minimum in thresholds.items():
+        measured = metrics.get(name)
+        if measured is None:
+            findings.append(f"{record.get('experiment')}: metric {name!r} missing from record")
+            continue
+        floor = minimum * (1.0 - REGRESSION_TOLERANCE)
+        if measured < floor:
+            findings.append(
+                f"{record.get('experiment')}: {name} = {measured:.3g} regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} below its committed threshold {minimum:.3g} "
+                f"(floor {floor:.3g})"
+            )
+    return findings

@@ -1,20 +1,37 @@
-"""Regenerate the experiment tables of EXPERIMENTS.md.
+"""Regenerate the experiment tables of EXPERIMENTS.md, aggregate perf records.
 
 Run with::
 
-    python benchmarks/report.py
+    python benchmarks/report.py             # run E1-E10, print the tables
+    python benchmarks/report.py --records   # aggregate BENCH_E*.json records
+    python benchmarks/report.py --check     # fail on >25% metric regression
 
-The script executes each experiment (E1-E10) once, prints the same rows the
-corresponding ``bench_e*.py`` module asserts, and reports wall-clock timings
-for the scaling sweeps.  It is intentionally independent of pytest-benchmark
-so the tables can be regenerated quickly; the bench modules remain the
-statistically careful timing source.
+The default mode executes each experiment (E1-E10) once, prints the same
+rows the corresponding ``bench_e*.py`` module asserts, and reports
+wall-clock timings for the scaling sweeps.  It is intentionally independent
+of pytest-benchmark so the tables can be regenerated quickly; the bench
+modules remain the statistically careful timing source.
+
+``--records`` aggregates every ``BENCH_E*.json`` at the repo root (written
+by the benchmark mains and the pytest-benchmark session hook, see
+``benchmarks/record.py``) into one summary table.  ``--check`` compares
+each record's measured metrics against the thresholds committed inside it
+and exits non-zero when any metric regressed more than the documented
+tolerance — the CI ``bench-smoke`` job's gate.  Passing paths after
+``--check`` restricts the gate to those record files.
 """
 
 from __future__ import annotations
 
+import json
+import sys
 import time
+from pathlib import Path
 from typing import Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from record import REGRESSION_TOLERANCE, check_record, load_records  # noqa: E402
 
 from repro.baselines.refuters import bounded_bag_refuter, random_bag_refuter
 from repro.containment.bag_set_containment import decide_bag_set_containment
@@ -250,11 +267,74 @@ def e10() -> None:
     print(f"    set holds but bag fails (strictness) : {strict_separations} (>= 1 expected)")
 
 
-def main() -> None:
+def summarize_records() -> int:
+    """Aggregate every ``BENCH_E*.json`` record into one table."""
+    records = load_records()
+    if not records:
+        print("no BENCH_E*.json records found (run the benchmark mains or pytest benchmarks/)")
+        return 1
+    print("# Benchmark records")
+    for experiment, record in sorted(records.items()):
+        source = record.get("source", "?")
+        cases = record.get("case_count", record.get("cases", "?"))
+        print(f"\n## {experiment.upper()}  [{source}, cases={cases}]")
+        metrics = record.get("metrics", {})
+        thresholds = record.get("thresholds", {})
+        if not metrics:
+            entries = record.get("benchmarks", [])
+            for entry in entries:
+                mean = entry.get("mean_seconds")
+                timing = f"{mean * 1e3:9.2f} ms" if mean is not None else "   (timing disabled)"
+                print(f"    {entry['name']:<48} {timing}")
+            continue
+        for name, value in metrics.items():
+            minimum = thresholds.get(name)
+            bar = f"  (threshold ≥ {minimum})" if minimum is not None else ""
+            print(f"    {name:<36} {value:>10}{bar}")
+    return 0
+
+
+def check_records(paths: list[str]) -> int:
+    """Fail when any record's metric regressed beyond the tolerance."""
+    if paths:
+        records = {}
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+            records[record.get("experiment", path)] = record
+    else:
+        records = load_records()
+    if not records:
+        print("no records to check")
+        return 1
+    findings: list[str] = []
+    checked = 0
+    for record in records.values():
+        findings.extend(check_record(record))
+        checked += len(record.get("thresholds", {}))
+    if findings:
+        print(f"REGRESSIONS ({len(findings)}):")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    print(
+        f"{len(records)} records, {checked} thresholds checked: no metric more than "
+        f"{REGRESSION_TOLERANCE:.0%} below its committed threshold"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--records":
+        return summarize_records()
+    if argv and argv[0] == "--check":
+        return check_records(argv[1:])
     print("# Experiment report — bag containment reproduction")
     for experiment in (e1, e2, e3, e4, e5, e6, e7, e8, e9, e10):
         experiment()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -30,7 +30,14 @@ Sub-commands
     metamorphically-mutated pairs are pushed through every decision
     strategy, engine backend and Diophantine path; disagreements are
     shrunk to minimal reproducers.  ``--save-corpus`` persists the
-    campaign for deterministic replay, ``--replay`` re-checks a corpus.
+    campaign for deterministic replay, ``--replay`` re-checks a corpus,
+    ``--backends``/``--strategies`` restrict the differential axes.
+
+``profile``
+    Run a named workload from :mod:`repro.workloads.scale` under
+    ``cProfile`` and print the top cumulative hot spots — so perf work
+    starts from measurements, not guesses.  Combine with
+    ``--engine-backend`` to profile a specific backend.
 
 Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
 e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
@@ -39,7 +46,7 @@ Every command runs through one :class:`repro.session.Session` built for the
 invocation: the global options pick its engine backend
 (``--engine-backend``; the compiled indexed engine is the default) and
 print its engine-cache statistics after the command (``--engine-stats``),
-which is how the benchmarks A/B the two backends.  Backends and strategies
+which is how the benchmarks A/B the backends.  Backends and strategies
 registered through :mod:`repro.session.registry` before parser construction
 appear in the respective choice lists automatically.
 """
@@ -56,7 +63,7 @@ from repro.exceptions import CliError, ReproError
 from repro.queries.parser import parse_atom, parse_cq
 from repro.queries.printer import format_answer_bag, format_bag_instance, format_query
 from repro.relational.instances import BagInstance
-from repro.session import EvaluationRequest, MpiRequest, Session
+from repro.session import ContainmentRequest, EvaluationRequest, MpiRequest, Session
 from repro.verify.corpus import replay_corpus, save_corpus
 from repro.verify.oracles import OracleConfig
 from repro.verify.runner import CampaignConfig, campaign_corpus
@@ -146,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: {','.join(strategy_names())})",
     )
     fuzz.add_argument(
+        "--backends",
+        default=",".join(backend_names()),
+        help="comma-separated engine backends to differential-test "
+        f"(default: {','.join(backend_names())})",
+    )
+    fuzz.add_argument(
         "--mutation-rate",
         type=float,
         default=0.5,
@@ -162,6 +175,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--replay", metavar="PATH", default=None, help="replay a saved corpus instead of fuzzing"
+    )
+
+    profile = subparsers.add_parser(
+        "profile", help="profile a named scale workload under cProfile"
+    )
+    profile.add_argument(
+        "workload",
+        choices=("mixed", "acyclic", "chain", "star"),
+        help="workload family from repro.workloads.scale",
+    )
+    profile.add_argument("--cases", type=int, default=100, help="number of pairs to decide")
+    profile.add_argument("--seed", type=int, default=0, help="workload seed")
+    profile.add_argument(
+        "--top", type=int, default=20, help="how many cumulative hot spots to print"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime"),
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
     )
 
     return parser
@@ -276,11 +309,12 @@ def _run_compare(args: argparse.Namespace, session: Session) -> int:
 
 def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
     strategies = tuple(name.strip() for name in args.strategies.split(",") if name.strip())
+    backends = tuple(name.strip() for name in args.backends.split(",") if name.strip())
 
     if args.replay is not None:
         if args.save_corpus is not None:
             raise CliError("--save-corpus cannot be combined with --replay")
-        failures = replay_corpus(args.replay, OracleConfig(strategies=strategies))
+        failures = replay_corpus(args.replay, OracleConfig(strategies=strategies, backends=backends))
         if not failures:
             print(f"corpus {args.replay}: all entries replay clean")
             return 0
@@ -296,6 +330,7 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
         seed=args.seed,
         jobs=args.jobs,
         strategies=strategies,
+        backends=backends,
         mutation_rate=args.mutation_rate,
         shrink_failures=not args.no_shrink,
         time_budget=args.time_budget,
@@ -306,6 +341,58 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
         path = save_corpus(campaign_corpus(report), args.save_corpus)
         print(f"corpus saved to {path} ({report.cases_run} entries)")
     return 0 if report.ok else 1
+
+
+def _profile_requests(args: argparse.Namespace) -> list[ContainmentRequest]:
+    from repro.workloads import scale
+
+    if args.workload == "mixed":
+        return scale.mixed_requests(args.cases, seed=args.seed, verify_certificates=False)
+    families = {
+        "acyclic": scale.acyclic_pair_family,
+        "chain": scale.chain_pair_family,
+        "star": scale.star_pair_family,
+    }
+    pairs = families[args.workload](args.cases, seed=args.seed)
+    return [
+        ContainmentRequest(containee, containing, verify_certificates=False)
+        for containee, containing in pairs
+    ]
+
+
+def _run_profile(args: argparse.Namespace, session: Session) -> int:
+    """Decide a scale workload under cProfile and print the hot spots.
+
+    The requests run through the invocation's session (so
+    ``--engine-backend`` selects what is being profiled) with errors
+    captured — a handful of random pairs exceeding the exact solver's row
+    cap must not abort the measurement.
+    """
+    import cProfile
+    import io
+    import pstats
+    import time as _time
+
+    requests = _profile_requests(args)
+    profiler = cProfile.Profile()
+    started = _time.perf_counter()
+    profiler.enable()
+    outcomes = list(session.batch(requests, capture_errors=True))
+    profiler.disable()
+    elapsed = _time.perf_counter() - started
+
+    errors = sum(1 for outcome in outcomes if outcome.error is not None)
+    contained = sum(1 for outcome in outcomes if outcome.verdict)
+    print(
+        f"profiled {len(outcomes)} '{args.workload}' decisions on the "
+        f"{session.backend_name} backend in {elapsed:.2f}s "
+        f"({contained} contained, {errors} errors)"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -319,6 +406,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "encode": _run_encode,
         "compare": _run_compare,
         "fuzz": _run_fuzz,
+        "profile": _run_profile,
     }
     session = Session(backend=args.engine_backend, name="cli")
     try:
@@ -330,10 +418,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         if args.engine_stats:
             print("engine cache statistics (session cache, this command only):")
-            if args.engine_backend != "indexed":
-                print(f"  note: this run used the {args.engine_backend} backend, which bypasses the cache")
+            if args.engine_backend == "naive":
+                print("  note: this run used the naive backend, which bypasses the cache")
             for line in session.cache.describe().splitlines():
                 print(f"  {line}")
+            backend = session.backend
+            if hasattr(backend, "describe_selectivity"):
+                print("per-signature selectivity (probes / candidates returned):")
+                for line in backend.describe_selectivity().splitlines():
+                    print(f"  {line}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,9 +22,12 @@ package turns that question into a compiled subsystem:
    compiled plan (and, for bags, one homomorphism enumeration) across whole
    probe-tuple or candidate-bag sweeps.
 
-Two backends implement the common interface: ``naive`` (the original
-recursive backtracker, kept as the executable specification) and ``indexed``
-(the compiled engine, the default).  Select globally with
+Three backends implement the common interface: ``naive`` (the original
+recursive backtracker, kept as the executable specification), ``indexed``
+(the compiled engine, the default) and ``interned`` (the integer data plane
+of :mod:`repro.engine.interned`: terms interned to dense ids, columnar
+target storage, packed-key signature indexes, and join orders picked by
+observed per-signature selectivity).  Select globally with
 :func:`set_default_backend` / :func:`use_backend`, or per call via the
 ``backend=`` keyword; the CLI exposes the same choice as
 ``--engine-backend`` and prints :func:`default_cache` statistics under
@@ -37,6 +40,7 @@ from repro.engine.backends import (
     Backend,
     BackendFactory,
     IndexedBackend,
+    InternedBackend,
     NaiveBackend,
     backend_names,
     create_backend,
@@ -68,6 +72,14 @@ from repro.engine.executor import (
     execute_iterate,
 )
 from repro.engine.fingerprints import atoms_fingerprint, instance_fingerprint, query_fingerprint
+from repro.engine.interned import (
+    InternedPlan,
+    compile_interned_plan,
+    interned_count,
+    interned_exists,
+    interned_iterate,
+)
+from repro.engine.interning import InternedTarget, TermDictionary
 from repro.engine.plan import (
     JoinTemplate,
     MatchPlan,
@@ -87,13 +99,18 @@ __all__ = [
     "EngineCache",
     "ExecutionStats",
     "IndexedBackend",
+    "InternedBackend",
+    "InternedPlan",
+    "InternedTarget",
     "JoinTemplate",
     "MatchPlan",
     "NaiveBackend",
     "PlanStep",
     "TargetIndex",
+    "TermDictionary",
     "atoms_fingerprint",
     "backend_names",
+    "compile_interned_plan",
     "compile_plan",
     "compile_template",
     "containment_mappings_many",
@@ -110,6 +127,9 @@ __all__ = [
     "get_default_backend",
     "has_homomorphism",
     "instance_fingerprint",
+    "interned_count",
+    "interned_exists",
+    "interned_iterate",
     "iterate_homomorphisms",
     "merge_snapshots",
     "query_fingerprint",

@@ -44,6 +44,14 @@ from repro.engine.executor import (
     execute_iterate,
 )
 from repro.engine.fingerprints import atoms_fingerprint
+from repro.engine.interned import (
+    InternedPlan,
+    compile_interned_plan,
+    interned_count,
+    interned_exists,
+    interned_iterate,
+)
+from repro.engine.interning import InternedTarget, TermDictionary
 from repro.engine.plan import JoinTemplate, MatchPlan
 from repro.exceptions import ReproError
 from repro.relational.atoms import Atom
@@ -54,6 +62,7 @@ __all__ = [
     "Backend",
     "NaiveBackend",
     "IndexedBackend",
+    "InternedBackend",
     "BACKEND_NAMES",
     "BackendFactory",
     "backend_names",
@@ -95,6 +104,33 @@ class Backend:
         fixed: Mapping[Variable, Term] | None = None,
     ) -> bool:
         return next(self.iterate(source_atoms, target_atoms, fixed), None) is not None
+
+
+def _scalar_result_key(
+    backend_name: str,
+    mode: str,
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    fixed: Mapping[Variable, Term] | None,
+) -> tuple:
+    """The result-layer memo key for a ``count``/``exists`` execution.
+
+    One shared layout for every backend: element 1 **must** be the target
+    fingerprint — :meth:`EngineCache.invalidate`'s result-layer drop
+    predicate matches on ``key[1]``.  The backend name is part of the key
+    so that two backends sharing one cache (a session's) never serve each
+    other's memoised results — the differential oracle's cross-backend
+    comparisons must compare independent computations, not one computation
+    twice.
+    """
+    return (
+        "count-exists",
+        atoms_fingerprint(target),
+        atoms_fingerprint(source),
+        frozenset((fixed or {}).items()),
+        mode,
+        backend_name,
+    )
 
 
 class NaiveBackend(Backend):
@@ -235,16 +271,179 @@ class IndexedBackend(Backend):
 
     @staticmethod
     def _result_key(mode: str, plan: MatchPlan, fixed: Mapping[Variable, Term] | None) -> tuple:
-        return (
-            mode,
-            atoms_fingerprint(plan.target_atoms),
-            atoms_fingerprint(plan.source_atoms),
-            frozenset((fixed or {}).items()),
+        return _scalar_result_key("indexed", mode, plan.source_atoms, plan.target_atoms, fixed)
+
+
+class InternedBackend(Backend):
+    """The integer data plane: interned terms, columnar rows, packed keys.
+
+    Everything the inner loop touches is an ``int``: constants and
+    variables are interned to dense ids through a per-backend
+    :class:`~repro.engine.interning.TermDictionary`, targets are stored as
+    columnar per-relation buckets of tuple-of-int rows, signature indexes
+    key on packed integer keys, and plan steps address a flat slot-binding
+    list instead of a variable dictionary.  Join orders are chosen by the
+    *observed* per-signature selectivity accumulated in ``selectivity``
+    (see :func:`~repro.engine.interned.compile_interned_plan`).
+
+    Compiled artefacts live in the shared :class:`EngineCache` — interned
+    targets in the index layer, interned plans in the plan layer, scalar
+    results in the result layer — tagged with the dictionary's serial so an
+    entry can never outlive the id space it was compiled against.
+    """
+
+    name = "interned"
+
+    def __init__(self, cache: EngineCache | None = None, collect_stats: bool = True) -> None:
+        self.cache = cache if cache is not None else EngineCache()
+        self.stats = ExecutionStats() if collect_stats else None
+        self.dictionary = TermDictionary()
+        #: Per-signature ``[probes, candidates returned]`` counters, keyed by
+        #: ``(relation, arity, signature)`` — the statistics the planner's
+        #: cost ordering reads and ``--engine-stats`` prints.
+        self.selectivity: dict[tuple[str, int, tuple[int, ...]], list[int]] = {}
+        #: Identity-keyed plan memo: callers that re-execute with the *same*
+        #: atom containers (cached ``body_atoms()`` tuples, ``facts``
+        #: frozensets) skip fingerprinting entirely.  Values hold strong
+        #: references to the keyed containers, so an id can never be
+        #: recycled while its entry is alive; cleared wholesale when full.
+        self._plan_memo: dict[tuple, tuple[object, object, InternedPlan]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Compiled artefact access
+    # ------------------------------------------------------------------ #
+    def target(self, target_atoms: Iterable[Atom]) -> InternedTarget:
+        """The (cached) interned image of a target atom set."""
+        target = tuple(target_atoms)
+        key = (atoms_fingerprint(target), "interned", self.dictionary.serial)
+        return self.cache.index_entry(  # type: ignore[return-value]
+            key, lambda: InternedTarget(self.dictionary, target)
         )
+
+    #: Identity-memo bound: cleared wholesale beyond this (entries rebuild
+    #: cheaply from the fingerprint-keyed plan layer underneath).
+    _PLAN_MEMO_LIMIT = 1024
+
+    def plan(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | Iterable[Variable] | None = None,
+    ) -> InternedPlan:
+        """The (cached) cost-ordered integer plan for a ``(source, target, fixed)`` triple.
+
+        Lookup is two-tier: an identity memo keyed on the container ids
+        (hit when callers pass stable tuples/frozensets, as the cached
+        query/instance accessors do), backed by the shared cache's
+        fingerprint-keyed plan layer, which unifies logically equal triples
+        arriving under fresh identities.
+        """
+        fixed_variables = frozenset(fixed or ())
+        ident = (id(source_atoms), id(target_atoms), fixed_variables)
+        memo = self._plan_memo
+        entry = memo.get(ident)
+        if entry is not None and entry[0] is source_atoms and entry[1] is target_atoms:
+            return entry[2]
+
+        source = tuple(source_atoms)
+        target = tuple(target_atoms)
+        key = (
+            atoms_fingerprint(source),
+            atoms_fingerprint(target),
+            fixed_variables,
+            "interned",
+            self.dictionary.serial,
+        )
+
+        def build() -> InternedPlan:
+            return compile_interned_plan(
+                self.dictionary, self.target(target), source, fixed_variables, self.selectivity
+            )
+
+        plan = self.cache.plan_entry(key, build)  # type: ignore[assignment]
+        if len(memo) >= self._PLAN_MEMO_LIMIT:
+            memo.clear()
+        memo[ident] = (source_atoms, target_atoms, plan)  # type: ignore[arg-type]
+        return plan  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Backend interface
+    # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> Iterator[Substitution]:
+        plan = self.plan(source_atoms, target_atoms, fixed)
+        return interned_iterate(plan, self.dictionary, fixed, stats=self.stats)
+
+    def count(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> int:
+        source = tuple(source_atoms)
+        target = tuple(target_atoms)
+        key = self._result_key("count", source, target, fixed)
+        return self.cache.result(  # type: ignore[return-value]
+            key,
+            lambda: interned_count(
+                self.plan(source, target, fixed), self.dictionary, fixed, stats=self.stats
+            ),
+        )
+
+    def exists(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> bool:
+        source = tuple(source_atoms)
+        target = tuple(target_atoms)
+        key = self._result_key("exists", source, target, fixed)
+        return self.cache.result(  # type: ignore[return-value]
+            key,
+            lambda: interned_exists(
+                self.plan(source, target, fixed), self.dictionary, fixed, stats=self.stats
+            ),
+        )
+
+    @staticmethod
+    def _result_key(
+        mode: str,
+        source: tuple[Atom, ...],
+        target: tuple[Atom, ...],
+        fixed: Mapping[Variable, Term] | None,
+    ) -> tuple:
+        return _scalar_result_key("interned", mode, source, target, fixed)
+
+    # ------------------------------------------------------------------ #
+    # Selectivity statistics
+    # ------------------------------------------------------------------ #
+    def describe_selectivity(self, top: int = 10) -> str:
+        """The busiest per-signature selectivity counters, one line each.
+
+        ``avg`` is candidates returned per probe — the observed selectivity
+        the planner orders join steps by (lower probes earlier).
+        """
+        if not self.selectivity:
+            return "no signature probes recorded"
+        entries = sorted(self.selectivity.items(), key=lambda item: -item[1][0])[:top]
+        lines = [f"{'signature':<24} {'probes':>8} {'candidates':>11} {'avg':>7}"]
+        for (relation, arity, signature), (probes, candidates) in entries:
+            positions = ",".join(str(position) for position in signature) or "-"
+            average = candidates / probes if probes else 0.0
+            lines.append(
+                f"{relation}/{arity}[{positions}]".ljust(24)
+                + f" {probes:>8} {candidates:>11} {average:>7.2f}"
+            )
+        return "\n".join(lines)
 
 
 #: The canonical built-in backend names, in CLI presentation order.
-BACKEND_NAMES = ("naive", "indexed")
+BACKEND_NAMES = ("naive", "indexed", "interned")
 
 #: A backend factory: given an (optional) cache to share, build an instance.
 #: Factories that need no cache (like the naive reference) ignore the argument.
@@ -253,6 +452,7 @@ BackendFactory = Callable[[EngineCache | None], Backend]
 _FACTORIES: dict[str, BackendFactory] = {
     "naive": lambda cache: NaiveBackend(),
     "indexed": lambda cache: IndexedBackend(cache=cache),
+    "interned": lambda cache: InternedBackend(cache=cache),
 }
 
 #: Lazily built process-wide shared instances (the legacy, session-less path).

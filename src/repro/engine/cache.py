@@ -188,6 +188,28 @@ class EngineCache:
         return self._results.get_or_build(key, compute)
 
     # ------------------------------------------------------------------ #
+    # Generic layer entries (alternate backends)
+    # ------------------------------------------------------------------ #
+    def index_entry(self, key: Hashable, build: Callable[[], object]) -> object:
+        """Memoise an arbitrary per-target artefact in the index layer.
+
+        Alternate backends (the interned engine) store their own target
+        representations here so they share the layer's LRU bound, statistics
+        and invalidation with the classic :class:`TargetIndex` entries.
+        Tuple keys must put the target fingerprint first — that is what
+        :meth:`invalidate` matches on.
+        """
+        return self._indexes.get_or_build(key, build)
+
+    def plan_entry(self, key: Hashable, build: Callable[[], object]) -> object:
+        """Memoise an arbitrary compiled plan in the plan layer.
+
+        Tuple keys must put the target fingerprint second (matching the
+        classic plan keys), so :meth:`invalidate` covers them.
+        """
+        return self._plans.get_or_build(key, build)
+
+    # ------------------------------------------------------------------ #
     # Invalidation / introspection
     # ------------------------------------------------------------------ #
     def invalidate(self, target_atoms: Iterable[Atom] | None = None) -> int:
@@ -203,7 +225,10 @@ class EngineCache:
             self.clear()
             return dropped
         target_key = atoms_fingerprint(target_atoms)
-        dropped = self._indexes.drop(lambda key: key == target_key)
+        dropped = self._indexes.drop(
+            lambda key: key == target_key
+            or (isinstance(key, tuple) and len(key) > 0 and key[0] == target_key)
+        )
         dropped += self._plans.drop(lambda key: key[1] == target_key)  # type: ignore[index]
         dropped += self._results.drop(
             lambda key: isinstance(key, tuple) and len(key) > 1 and key[1] == target_key

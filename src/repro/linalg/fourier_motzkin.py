@@ -19,9 +19,18 @@ therefore also produces an explicit rational witness.
 
 To keep the classic double-exponential blow-up at bay the implementation
 
-* normalises every row to a primitive integer vector and de-duplicates rows
-  (two rows that are positive multiples of each other encode the same
-  half-space);
+* works on **gcd-reduced integer rows** throughout: every row is normalised
+  to a primitive integer vector once, and all elimination arithmetic is
+  pure machine-integer multiply/add — no :class:`~fractions.Fraction`
+  normalisation inside the hot combination loops (rationals only reappear
+  in the back-substitution that assembles the witness);
+* de-duplicates rows (two rows that are positive multiples of each other
+  encode the same half-space) and, between elimination steps, drops
+  **redundant rows**: a row that is a positive multiple of the sum of two
+  other rows is implied by them (the sum of two strictly positive values is
+  strictly positive) and only multiplies the downstream combination count;
+  the same pass detects opposite-row pairs (``a`` and ``−a``), whose sum
+  reads ``0 > 0`` and settles infeasibility immediately;
 * eliminates, at every step, the unknown minimising the number of
   lower×upper combinations (the standard min-fill heuristic);
 * enforces a configurable cap on the number of generated rows and raises
@@ -37,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from math import gcd, lcm
+from math import gcd
 from typing import Sequence
 
 from repro.exceptions import LinearSystemError
@@ -49,10 +58,16 @@ __all__ = [
     "is_feasible",
     "feasibility_witness",
     "DEFAULT_ROW_CAP",
+    "REDUNDANCY_ROW_LIMIT",
 ]
 
 #: Safety cap on the number of rows generated during elimination.
 DEFAULT_ROW_CAP = 200_000
+
+#: Redundancy elimination is an O(rows²) pass per step; beyond this many
+#: rows the pass is skipped (the cap keeps worst-case steps quadratic, and
+#: systems that large are about to hit the row cap anyway).
+REDUNDANCY_ROW_LIMIT = 400
 
 
 @dataclass(frozen=True)
@@ -66,21 +81,19 @@ class FeasibilityResult:
         return self.feasible
 
 
-_Row = tuple[Fraction, ...]
+_Row = tuple[int, ...]
 
 
-def _normalize(row: _Row) -> _Row | None:
-    """Scale a row to a primitive integer vector; ``None`` for the zero row."""
-    if all(coefficient == 0 for coefficient in row):
-        return None
-    denominator = 1
-    for coefficient in row:
-        denominator = lcm(denominator, coefficient.denominator)
-    integers = [int(coefficient * denominator) for coefficient in row]
+def _normalize(row: Sequence[int]) -> _Row | None:
+    """Reduce an integer row to a primitive vector; ``None`` for the zero row."""
     divisor = 0
-    for value in integers:
-        divisor = gcd(divisor, abs(value))
-    return tuple(Fraction(value // divisor) for value in integers)
+    for value in row:
+        divisor = gcd(divisor, value)
+    if divisor == 0:
+        return None
+    if divisor == 1:
+        return tuple(row)
+    return tuple(value // divisor for value in row)
 
 
 def _prepare(rows: list[_Row]) -> tuple[list[_Row], bool]:
@@ -97,13 +110,63 @@ def _prepare(rows: list[_Row]) -> tuple[list[_Row], bool]:
     return prepared, False
 
 
+def _drop_redundant(rows: list[_Row]) -> tuple[list[_Row], bool]:
+    """Drop rows implied by the sum of two kept rows; detect ``a, −a`` pairs.
+
+    If ``a·ε > 0`` and ``b·ε > 0`` then ``(a + b)·ε > 0``, so a row equal to
+    a positive multiple of ``a + b`` is implied and safe to drop — *provided*
+    its two justifying rows are themselves kept.  The pass therefore only
+    accepts justifications whose summands are not sum-composites themselves,
+    which makes every drop grounded in surviving rows regardless of order.
+    A pair summing to the zero row reads ``0 > 0`` and proves the system
+    infeasible on the spot (the second returned value).
+    """
+    n = len(rows)
+    if n < 3 or n > REDUNDANCY_ROW_LIMIT:
+        return rows, False
+    row_set = set(rows)
+    composite: set[_Row] = set()
+    justifications: dict[_Row, list[tuple[_Row, _Row]]] = {}
+    for i in range(n):
+        left = rows[i]
+        for j in range(i + 1, n):
+            right = rows[j]
+            summed = _normalize([a + b for a, b in zip(left, right)])
+            if summed is None:
+                # left == -right: the two strict rows contradict each other.
+                return rows, True
+            # A sum can never normalise back to one of its own summands
+            # (that would force the other to be zero or a duplicate), so
+            # membership alone identifies a genuinely distinct implied row.
+            if summed in row_set:
+                justifications.setdefault(summed, []).append((left, right))
+                composite.add(summed)
+    if not composite:
+        return rows, False
+    kept = [
+        row
+        for row in rows
+        if row not in composite
+        or not any(
+            a not in composite and b not in composite for a, b in justifications[row]
+        )
+    ]
+    return kept, False
+
+
 def _pick_variable(rows: list[_Row], active: list[int]) -> int:
     """Choose the active column whose elimination creates the fewest rows."""
     best_column = active[0]
     best_cost: int | None = None
     for column in active:
-        lowers = sum(1 for row in rows if row[column] > 0)
-        uppers = sum(1 for row in rows if row[column] < 0)
+        lowers = 0
+        uppers = 0
+        for row in rows:
+            value = row[column]
+            if value > 0:
+                lowers += 1
+            elif value < 0:
+                uppers += 1
         cost = lowers * uppers
         if best_cost is None or cost < best_cost:
             best_cost = cost
@@ -114,9 +177,15 @@ def _pick_variable(rows: list[_Row], active: list[int]) -> int:
 def _solve(rows: list[_Row], active: list[int], dimension: int, row_cap: int) -> FeasibilityResult:
     """Recursive Fourier–Motzkin over the *active* columns, with back-substitution.
 
-    Returns a witness defined on **all** columns; inactive columns get 0.
+    Rows are primitive integer vectors throughout; the combination loop is
+    pure integer arithmetic and each recursion level re-normalises,
+    de-duplicates and redundancy-prunes before branching.  Returns a
+    witness defined on **all** columns; inactive columns get 0.
     """
     prepared, contradiction = _prepare(rows)
+    if contradiction:
+        return FeasibilityResult(False)
+    prepared, contradiction = _drop_redundant(prepared)
     if contradiction:
         return FeasibilityResult(False)
 
@@ -135,13 +204,13 @@ def _solve(rows: list[_Row], active: list[int], dimension: int, row_cap: int) ->
     uppers = [row for row in prepared if row[column] < 0]
     reduced = [row for row in prepared if row[column] == 0]
 
+    columns = range(dimension)
     for lower in lowers:
+        p = lower[column]
         for upper in uppers:
-            p = lower[column]
             q = upper[column]
             combined = tuple(
-                (-q) * lower[j] + p * upper[j] if j != column else Fraction(0)
-                for j in range(dimension)
+                (-q) * lower[j] + p * upper[j] if j != column else 0 for j in columns
             )
             reduced.append(combined)
             if len(reduced) > row_cap:
@@ -161,7 +230,8 @@ def _solve(rows: list[_Row], active: list[int], dimension: int, row_cap: int) ->
 
     def bound(row: _Row) -> Fraction:
         rest = sum(
-            (row[j] * witness[j] for j in range(dimension) if j != column), Fraction(0)
+            (row[j] * witness[j] for j in range(dimension) if j != column and row[j]),
+            Fraction(0),
         )
         return -rest / row[column]
 
@@ -196,8 +266,10 @@ def solve_strict_system(
     before solving; the witness, if any, is then component-wise positive.
     """
     working = system.with_positivity() if require_positive else system
+    # The system's integer rows are already primitive (gcd-normalised at
+    # construction), so the whole elimination runs on machine integers.
     result = _solve(
-        list(working.rows), list(range(working.dimension)), working.dimension, row_cap
+        list(working.integer_rows()), list(range(working.dimension)), working.dimension, row_cap
     )
     if result.feasible and result.witness is not None and len(working) > 0:
         if not working.is_solution(result.witness):  # pragma: no cover - sanity check

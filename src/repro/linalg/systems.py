@@ -21,7 +21,7 @@ of the rows plus positivity, as requested.
 from __future__ import annotations
 
 from fractions import Fraction
-from math import lcm
+from math import gcd, lcm
 from typing import Iterable, Iterator, Sequence
 
 from repro.exceptions import DimensionMismatchError, LinearSystemError
@@ -52,7 +52,20 @@ class HomogeneousStrictSystem:
                 )
         self._rows: tuple[tuple[Fraction, ...], ...] = tuple(converted)
         self._dimension = dimension
-        self._integer_rows: tuple[tuple[int, ...], ...] | None = None
+        # gcd-normalised at construction: every integer row is primitive, so
+        # the integer fast path of is_solution multiplies the smallest
+        # possible coefficients no matter how non-reduced the input was.
+        scaled: list[tuple[int, ...]] = []
+        for row in self._rows:
+            multiplier = lcm(*(coefficient.denominator for coefficient in row)) if row else 1
+            integers = [int(coefficient * multiplier) for coefficient in row]
+            divisor = 0
+            for value in integers:
+                divisor = gcd(divisor, value)
+            if divisor > 1:
+                integers = [value // divisor for value in integers]
+            scaled.append(tuple(integers))
+        self._integer_rows: tuple[tuple[int, ...], ...] = tuple(scaled)
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -109,19 +122,16 @@ class HomogeneousStrictSystem:
         return tuple(dot(row, vector) for row in self._rows)
 
     def integer_rows(self) -> tuple[tuple[int, ...], ...]:
-        """Each row scaled by the (positive) lcm of its denominators.
+        """Each row as a primitive integer vector (computed at construction).
 
-        Scaling a row by a positive rational preserves the sign of its dot
-        product with any vector, so these rows decide ``row · ε > 0`` with
-        pure machine-integer arithmetic — the hot path of the bounded-guess
-        vector enumeration.
+        Every row is scaled by the (positive) lcm of its denominators and
+        divided by the gcd of the results.  Scaling a row by a positive
+        rational preserves the sign of its dot product with any vector, so
+        these rows decide ``row · ε > 0`` with the smallest possible pure
+        machine-integer arithmetic — the hot path of the bounded-guess
+        vector enumeration and of the exact Fourier–Motzkin core — even
+        when the system was built from non-reduced rational input.
         """
-        if self._integer_rows is None:
-            scaled = []
-            for row in self._rows:
-                multiplier = lcm(*(coefficient.denominator for coefficient in row)) if row else 1
-                scaled.append(tuple(int(coefficient * multiplier) for coefficient in row))
-            self._integer_rows = tuple(scaled)
         return self._integer_rows
 
     def is_solution(self, vector: Sequence[object]) -> bool:

@@ -81,7 +81,7 @@ class ConjunctiveQuery:
     The body must be non-empty.
     """
 
-    __slots__ = ("_head", "_body", "_name", "_hash")
+    __slots__ = ("_head", "_body", "_name", "_hash", "_body_atoms")
 
     def __init__(
         self,
@@ -153,8 +153,18 @@ class ConjunctiveQuery:
         return dict(self._body)
 
     def body_atoms(self) -> tuple[Atom, ...]:
-        """The distinct atoms of the body, in a deterministic order."""
-        return tuple(self._body)
+        """The distinct atoms of the body, in a deterministic order.
+
+        The tuple is built once and cached: queries are immutable, and a
+        *stable* tuple identity lets the engine's identity-keyed plan memo
+        recognise repeated executions without re-fingerprinting the atoms.
+        """
+        try:
+            return self._body_atoms
+        except AttributeError:
+            atoms = tuple(self._body)
+            object.__setattr__(self, "_body_atoms", atoms)
+            return atoms
 
     def body_items(self) -> tuple[BodyAtom, ...]:
         """The body as ``(atom, multiplicity)`` views, deterministic order."""

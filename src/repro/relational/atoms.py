@@ -67,6 +67,29 @@ class Atom:
             if not is_term(term):
                 raise InvalidTermError(f"{term!r} is not a term")
         object.__setattr__(self, "terms", terms)
+        object.__setattr__(self, "_hash", hash((self.relation, terms)))
+
+    # Atoms key every engine fingerprint and index bucket; the hash is
+    # computed once at construction (terms cache theirs too) instead of
+    # per lookup, and excluded from pickles so worker processes recompute
+    # it under their own hash seed.
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:  # unpickled instance: state omits the cache
+            value = hash((self.relation, self.terms))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Atom:
+            return self.relation == other.relation and self.terms == other.terms  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __getstate__(self) -> dict:
+        return {"relation": self.relation, "terms": self.terms}
 
     # ------------------------------------------------------------------ #
     # Structural information

@@ -107,7 +107,7 @@ class BagInstance:
     matching the paper's convention that ``µ(t) = 0`` for absent tuples.
     """
 
-    __slots__ = ("_multiplicities",)
+    __slots__ = ("_multiplicities", "_support")
 
     def __init__(self, multiplicities: Mapping[Atom, int] | Iterable[tuple[Atom, int]] = ()) -> None:
         items = dict(multiplicities)
@@ -170,8 +170,18 @@ class BagInstance:
     # Bag structure
     # ------------------------------------------------------------------ #
     def support(self) -> SetInstance:
-        """The underlying set instance (facts with positive multiplicity)."""
-        return SetInstance(self._multiplicities)
+        """The underlying set instance (facts with positive multiplicity).
+
+        Built once and cached (bags are immutable): a stable ``facts``
+        identity lets the engine's identity-keyed plan memo recognise
+        repeated evaluations of the same bag without re-fingerprinting.
+        """
+        try:
+            return self._support
+        except AttributeError:
+            support = SetInstance(self._multiplicities)
+            self._support = support
+            return support
 
     def active_domain(self) -> frozenset[Term]:
         """``adom`` of the underlying set instance."""

@@ -51,6 +51,20 @@ class Substitution(Mapping[Variable, Term]):
             cleaned[source] = target
         self._mapping: dict[Variable, Term] = cleaned
 
+    @classmethod
+    def _trusted(cls, mapping: dict[Variable, Term]) -> "Substitution":
+        """Wrap a mapping the caller guarantees is already clean.
+
+        Internal fast path for the engine executors, which build thousands
+        of substitutions per enumeration from bindings that are Variables
+        and Terms by construction, with identity bindings already dropped.
+        The dict is adopted, not copied — the caller must hand ownership
+        over.
+        """
+        substitution = cls.__new__(cls)
+        substitution._mapping = mapping
+        return substitution
+
     # ------------------------------------------------------------------ #
     # Mapping protocol
     # ------------------------------------------------------------------ #

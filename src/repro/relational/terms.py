@@ -49,6 +49,30 @@ class Variable:
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
             raise InvalidTermError(f"variable name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "_hash", hash((Variable, self.name)))
+
+    # Terms are the keys of every hot dictionary in the engine; the
+    # generated dataclass __hash__/__eq__ rebuild a field tuple per call,
+    # which dominates profile time at scale.  The hash is computed once at
+    # construction (and excluded from pickles: it embeds the per-process
+    # class identity, so a worker recomputes it on first use instead).
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:  # unpickled instance: state omits the cache
+            value = hash((Variable, self.name))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Variable:
+            return self.name == other.name  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name}
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
@@ -69,9 +93,27 @@ class Constant:
 
     def __post_init__(self) -> None:
         try:
-            hash(self.value)
+            object.__setattr__(self, "_hash", hash((Constant, self.value)))
         except TypeError as exc:  # pragma: no cover - defensive
             raise InvalidTermError(f"constant value must be hashable, got {self.value!r}") from exc
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:  # unpickled instance: state omits the cache
+            value = hash((Constant, self.value))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Constant:
+            return self.value == other.value  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __getstate__(self) -> dict:
+        return {"value": self.value}
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return str(self.value)
@@ -97,6 +139,25 @@ class CanonicalConstant:
             raise InvalidTermError(
                 f"canonical constant needs a non-empty variable name, got {self.variable_name!r}"
             )
+        object.__setattr__(self, "_hash", hash((CanonicalConstant, self.variable_name)))
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:  # unpickled instance: state omits the cache
+            value = hash((CanonicalConstant, self.variable_name))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is CanonicalConstant:
+            return self.variable_name == other.variable_name  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __getstate__(self) -> dict:
+        return {"variable_name": self.variable_name}
 
     @property
     def variable(self) -> Variable:

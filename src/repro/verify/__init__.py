@@ -1,7 +1,7 @@
 """Differential fuzzing & metamorphic verification (the ``repro fuzz`` engine).
 
 The subsystem turns the library's redundancy — three decision strategies,
-two engine backends, two Diophantine feasibility paths, the refuter
+three engine backends, two Diophantine feasibility paths, the refuter
 baselines and the cross-semantics implications — into an always-on
 correctness harness:
 

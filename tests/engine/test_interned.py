@@ -1,0 +1,190 @@
+"""Unit tests for the interned data plane: dictionary, plans, backend."""
+
+import pytest
+
+from repro.engine import EngineCache, InternedBackend, create_backend, get_backend
+from repro.engine.interning import ID_BITS, InternedTarget, TermDictionary, pack_ids
+from repro.exceptions import ReproError
+from repro.relational.atoms import Atom
+from repro.relational.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def fresh_backend() -> InternedBackend:
+    return InternedBackend(cache=EngineCache())
+
+
+class TestTermDictionary:
+    def test_ids_are_dense_and_stable(self):
+        dictionary = TermDictionary()
+        assert dictionary.intern(x) == 0
+        assert dictionary.intern(a) == 1
+        assert dictionary.intern(x) == 0  # repeated interning is a lookup
+        assert dictionary.term(0) == x
+        assert dictionary.term(1) == a
+        assert len(dictionary) == 2
+
+    def test_serials_are_unique(self):
+        assert TermDictionary().serial != TermDictionary().serial
+
+    def test_pack_ids_is_positional(self):
+        assert pack_ids([7]) == 7
+        assert pack_ids([1, 2]) == (1 << ID_BITS) | 2
+        assert pack_ids([1, 2]) != pack_ids([2, 1])
+
+
+class TestInternedTarget:
+    def test_columnar_layout_and_group_index(self):
+        dictionary = TermDictionary()
+        target = InternedTarget(dictionary, [Atom("R", (a, b)), Atom("R", (a, c)), Atom("S", (b,))])
+        assert target.relation_sizes() == {("R", 2): 2, ("S", 1): 1}
+        assert len(target.rows("R", 2)) == 2
+        # Selectivity is unknown until the signature index is built...
+        assert target.selectivity("R", 2, (0,)) is None
+        index = target.group_index("R", 2, (0,))
+        # ...after which it reports average candidates per probe: 2 rows, 1 group.
+        assert target.selectivity("R", 2, (0,)) == 2.0
+        assert index[dictionary.intern(a)] == (
+            (dictionary.intern(a), dictionary.intern(b)),
+            (dictionary.intern(a), dictionary.intern(c)),
+        )
+
+    def test_duplicate_atoms_are_deduplicated(self):
+        target = InternedTarget(TermDictionary(), [Atom("R", (a, b)), Atom("R", (a, b))])
+        assert len(target) == 1
+        assert len(target.rows("R", 2)) == 1
+
+
+class TestPlanShapes:
+    def test_projection_free_fold_compiles_to_static_filters_only(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)), Atom("R", (y, x)))
+        target = (Atom("R", (a, b)), Atom("R", (b, a)))
+        plan = backend.plan(source, target, {x: a, y: b})
+        assert plan.static_steps and not plan.steps
+        assert backend.count(source, target, {x: a, y: b}) == 1
+
+    def test_existential_variables_stay_in_the_search(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)), Atom("R", (x, z)))  # z is existential
+        target = (Atom("R", (a, b)), Atom("R", (a, c)))
+        plan = backend.plan(source, target, {x: a, y: b})
+        assert len(plan.static_steps) == 1
+        assert len(plan.steps) == 1
+        assert backend.count(source, target, {x: a, y: b}) == 2
+        assert "static filters" in plan.describe()
+
+    def test_observed_selectivity_orders_cheaper_signatures_first(self):
+        backend = fresh_backend()
+        # A target where R-probes on position 0 return many candidates but
+        # S-probes return exactly one.
+        target = tuple(Atom("R", (a, Constant(f"v{i}"))) for i in range(8)) + (Atom("S", (a, b)),)
+        source = (Atom("R", (x, y)), Atom("S", (x, z)))
+        backend.count(source, target, {x: a})  # builds both signature indexes
+        plan = backend.plan((Atom("R", (x, y)), Atom("S", (x, y))), target, {x: a})
+        # With observed selectivity (R: 8 per probe, S: 1 per probe) the S
+        # atom must be scheduled before the R atom.
+        first = (plan.static_steps + plan.steps)[0]
+        assert first.atom.relation == "S"
+
+    def test_check_fixed_contract_matches_the_indexed_plan(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        plan = backend.plan(source, target, {x: a})
+        with pytest.raises(ReproError):  # missing compiled fixed binding
+            plan.check_fixed({})
+        with pytest.raises(ReproError):  # unplanned source-variable binding
+            plan.check_fixed({x: a, y: b})
+        # Extra bindings for non-source variables ride along.
+        [substitution] = list(backend.iterate(source, target, {x: a, z: c}))
+        assert substitution[z] == c
+        assert substitution[y] == b
+
+
+class TestBackendBehaviour:
+    def test_registered_and_session_visible(self):
+        from repro.engine import backend_names
+        from repro.session import Session
+
+        assert "interned" in backend_names()
+        assert isinstance(get_backend("interned"), InternedBackend)
+        session = Session(backend="interned")
+        outcome = session.decide(
+            *__import__("repro.verify.corpus", fromlist=["builtin_pairs"]).builtin_pairs()[0]
+        )
+        assert outcome.verdict is not None
+
+    def test_identity_memo_hits_on_stable_tuples(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        first = backend.plan(source, target, {x: a})
+        assert backend.plan(source, target, {x: a}) is first
+        # A logically equal triple under a fresh identity shares the
+        # underlying fingerprint-keyed plan.
+        assert backend.plan(tuple(source), tuple(target), {x: a}) is first
+
+    def test_invalidate_drops_interned_entries(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)),)
+        other = (Atom("S", (a, b)),)
+        assert backend.count(source, target) == 1
+        backend.count((Atom("S", (x, y)),), other)
+        dropped = backend.cache.invalidate(target)
+        assert dropped >= 3  # the target's index, plan and result entries
+        # The unrelated target's result memo survives and still hits.
+        hits_before = backend.cache.result_stats.hits
+        assert backend.count((Atom("S", (x, y)),), other) == 1
+        assert backend.cache.result_stats.hits == hits_before + 1
+
+    def test_result_memos_are_backend_private(self):
+        # Two backends sharing one cache must not serve each other's
+        # count/exists results — the differential oracle depends on it.
+        cache = EngineCache()
+        indexed = create_backend("indexed", cache)
+        interned = create_backend("interned", cache)
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)), Atom("R", (a, c)))
+        assert indexed.count(source, target) == 2
+        misses_before = cache.result_stats.misses
+        assert interned.count(source, target) == 2
+        assert cache.result_stats.misses == misses_before + 1  # not a shared hit
+
+    def test_selectivity_counters_accumulate_and_describe(self):
+        backend = fresh_backend()
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)), Atom("R", (a, c)))
+        list(backend.iterate(source, target, {x: a}))
+        key = ("R", 2, (0,))
+        probes, candidates = backend.selectivity[key]
+        assert probes >= 1 and candidates >= 2
+        rendered = backend.describe_selectivity()
+        assert "R/2[0]" in rendered
+        assert InternedBackend(cache=EngineCache()).describe_selectivity() == (
+            "no signature probes recorded"
+        )
+
+    def test_arity_zero_atoms(self):
+        backend = fresh_backend()
+        assert backend.count((Atom("R", ()),), (Atom("R", ()),)) == 1
+        assert backend.count((Atom("R", ()),), (Atom("S", ()),)) == 0
+
+
+class TestParallelRehydration:
+    def test_session_spec_rehydrates_interned_workers(self):
+        from repro.session import Session
+        from repro.workloads.scale import mixed_requests
+
+        requests = mixed_requests(6, seed=3, verify_certificates=False)
+        serial = [outcome.verdict for outcome in Session(backend="interned").batch(requests)]
+        parallel_session = Session(backend="interned")
+        assert parallel_session.spec().backend == "interned"
+        parallel = [
+            outcome.verdict
+            for outcome in parallel_session.batch(requests, jobs=2, chunk_size=2)
+        ]
+        assert parallel == serial

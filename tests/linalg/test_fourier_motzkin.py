@@ -71,17 +71,25 @@ class TestFeasibility:
     def test_row_cap_raises(self):
         # Every column has three positive and three negative coefficients, so any
         # elimination step must create 9 combined rows, exceeding the tiny cap.
+        # No row is the opposite or the summed implication of two others — the
+        # redundancy pass would otherwise settle the system before eliminating.
         rows = [
             [1, -1, 2],
             [-1, 1, 3],
             [2, 1, -1],
-            [-2, -1, 1],
+            [-2, -1, 2],
             [1, -2, -1],
             [-1, 2, -2],
         ]
         system = HomogeneousStrictSystem(rows)
         with pytest.raises(LinearSystemError):
             solve_strict_system(system, row_cap=3)
+
+    def test_opposite_rows_are_settled_before_elimination(self):
+        # a and -a cannot both be strictly positive; the redundancy pass
+        # detects the zero-sum pair and answers without combining anything.
+        system = HomogeneousStrictSystem([[2, 1, -1], [-2, -1, 1], [1, 0, 0]])
+        assert not solve_strict_system(system).feasible
 
 
 class TestWitnessExtraction:

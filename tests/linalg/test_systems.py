@@ -99,3 +99,29 @@ class TestIntegerFastPath:
         system = HomogeneousStrictSystem([[1, -1]])
         assert system.is_solution((Fraction(1, 2), Fraction(1, 3)))
         assert not system.is_solution((Fraction(1, 3), Fraction(1, 2)))
+
+    def test_integer_rows_are_gcd_normalized_at_construction(self):
+        # Non-reduced rational input (Fraction(2,4)-style coefficients and
+        # common factors across a row) must still produce primitive integer
+        # rows, so the fast path multiplies the smallest possible numbers.
+        system = HomogeneousStrictSystem(
+            [
+                [Fraction(2, 4), Fraction(6, 4)],   # == (1/2, 3/2) -> (1, 3)
+                [2, 4],                              # common factor 2 -> (1, 2)
+                [Fraction(10, 5), Fraction(-20, 5)], # == (2, -4)    -> (1, -2)
+                [0, 0],                              # zero row stays zero
+            ]
+        )
+        assert system.integer_rows() == ((1, 3), (1, 2), (1, -2), (0, 0))
+        # The rational view is untouched (phi of Lemma 5.1 depends on it).
+        assert system.rows[1] == (Fraction(2), Fraction(4))
+        assert system.max_coefficient_sum() == 6
+
+    def test_gcd_normalized_fast_path_agrees_with_slack(self):
+        from itertools import product
+
+        system = HomogeneousStrictSystem([[Fraction(2, 4), Fraction(6, 4)], [3, -6]])
+        for vector in product(range(-2, 3), repeat=2):
+            assert system.is_solution(vector) == all(
+                value > 0 for value in system.slack(vector)
+            )

@@ -1,20 +1,25 @@
-"""Property tests: the compiled engine agrees with the naive reference.
+"""Property tests: the compiled engines agree with the naive reference.
 
 Random CQ/instance pairs (and raw atom-set pairs, which also exercise
 variables in the target as containment mappings do) must yield identical
-results from the naive and indexed backends in all three execution modes,
-and a memoising cache must never change an answer.  Together the four
-properties run 300 random cases per suite execution.
+results from the naive, indexed and interned backends in all three
+execution modes, and a memoising cache must never change an answer.
+Together the properties in :class:`TestBackendEquivalence` run 300 random
+cases per suite execution; :class:`TestInternedDecisionEquivalence` adds
+another 300 seeded adversarial decisions proving the interned backend is
+verdict-, certificate- and count-identical to the other two across all
+three decision strategies.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import EngineCache, IndexedBackend, get_backend
+from repro.engine import EngineCache, IndexedBackend, InternedBackend, get_backend
 from repro.evaluation.bag_evaluation import evaluate_bag
 from repro.relational.atoms import Atom
 from repro.relational.terms import Constant, Variable
@@ -44,16 +49,18 @@ class TestBackendEquivalence:
     def test_iterate_agrees_as_multisets(self, source, target, fixed):
         naive = _multiset(get_backend("naive").iterate(source, target, fixed))
         indexed = _multiset(get_backend("indexed").iterate(source, target, fixed))
-        assert naive == indexed
+        interned = _multiset(get_backend("interned").iterate(source, target, fixed))
+        assert naive == indexed == interned
 
     @settings(max_examples=_EXAMPLES, deadline=None)
     @given(source=atom_sets(3), target=atom_sets(5), fixed=fixed_bindings())
     def test_count_and_exists_agree(self, source, target, fixed):
         naive = get_backend("naive")
-        indexed = get_backend("indexed")
         count = naive.count(source, target, fixed)
-        assert indexed.count(source, target, fixed) == count
-        assert indexed.exists(source, target, fixed) == (count > 0)
+        for name in ("indexed", "interned"):
+            backend = get_backend(name)
+            assert backend.count(source, target, fixed) == count, name
+            assert backend.exists(source, target, fixed) == (count > 0), name
 
     @settings(max_examples=_EXAMPLES, deadline=None)
     @given(query=queries_over_shared_head(), bag=bag_instances())
@@ -63,6 +70,8 @@ class TestBackendEquivalence:
         with use_backend("naive"):
             expected = evaluate_bag(query, bag)
         with use_backend("indexed"):
+            assert evaluate_bag(query, bag) == expected
+        with use_backend("interned"):
             assert evaluate_bag(query, bag) == expected
 
     @settings(max_examples=_EXAMPLES, deadline=None)
@@ -78,3 +87,68 @@ class TestBackendEquivalence:
         assert warm.exists(source, target, fixed) == expected_exists
         assert warm.exists(source, target, fixed) == expected_exists
         assert warm.cache.result_stats.hits >= 2
+        # Same guarantee for the interned backend and its identity memo.
+        warm_interned = InternedBackend(cache=EngineCache())
+        assert warm_interned.count(source, target, fixed) == expected_count
+        assert warm_interned.count(source, target, fixed) == expected_count
+        assert warm_interned.exists(source, target, fixed) == expected_exists
+        assert warm_interned.cache.result_stats.hits >= 1
+
+
+#: (strategy, backend) grid for the interned decision-equivalence sweep;
+#: bounded-guess is covered on a seed slice to stay inside the test budget.
+_DECISION_CASES = 300
+_STRATEGY_GRID = ("most-general", "all-probes", "bounded-guess")
+
+
+class TestInternedDecisionEquivalence:
+    """300 adversarial decisions: interned ≡ naive ≡ indexed, all strategies.
+
+    Adversarial pairs (shared core, one perturbed multiplicity) are the
+    regime where the decision procedures have least slack; each seed is
+    decided by every backend under one strategy, rotating through the
+    grid, and verdicts, certificates and encoding mapping counts must be
+    identical across the three backends.
+    """
+
+    @pytest.mark.parametrize("chunk", range(10))
+    def test_interned_decisions_match_other_backends(self, chunk):
+        from repro.core.decision import decide_bag_containment
+        from repro.engine import use_backend
+        from repro.exceptions import EnumerationBudgetError
+        from repro.workloads.random_queries import random_adversarial_pair
+
+        per_chunk = _DECISION_CASES // 10
+        for seed in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+            strategy = _STRATEGY_GRID[seed % len(_STRATEGY_GRID)]
+            num_atoms = 2 if strategy == "bounded-guess" else 3
+            containee, containing = random_adversarial_pair(
+                seed, num_atoms=num_atoms, head_size=2
+            )
+            results = {}
+            skipped = False
+            for backend in ("naive", "indexed", "interned"):
+                try:
+                    with use_backend(backend):
+                        results[backend] = decide_bag_containment(
+                            containee, containing, strategy=strategy, max_candidates=20_000
+                        )
+                except EnumerationBudgetError:
+                    skipped = True
+                    break
+            if skipped:
+                continue
+            context = f"seed={seed} strategy={strategy}"
+            verdicts = {name: result.contained for name, result in results.items()}
+            assert len(set(verdicts.values())) == 1, f"{context}: {verdicts}"
+            reference = results["naive"]
+            for name in ("indexed", "interned"):
+                assert results[name].counterexample == reference.counterexample, (
+                    f"{context}: {name} certificate diverges"
+                )
+                assert results[name].reason == reference.reason, context
+                assert len(results[name].encodings) == len(reference.encodings), context
+                for mine, theirs in zip(results[name].encodings, reference.encodings):
+                    assert mine.num_mappings == theirs.num_mappings, (
+                        f"{context}: {name} mapping count diverges"
+                    )

@@ -283,8 +283,31 @@ class TestFuzz:
         assert code == 1
         assert "verdict-drift" in captured.out
 
+    def test_backend_subset_campaign_is_clean(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--cases", "5",
+                "--seed", "3",
+                "--backends", "interned",
+                "--strategies", "most-general",
+                "--mutation-rate", "0",
+                "--no-shrink",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no discrepancies found" in captured.out
+        assert "5/5 cases" in captured.out
+
     def test_unknown_strategy_is_a_clean_error(self, capsys):
         code = main(["fuzz", "--cases", "1", "--strategies", "telepathy"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_unknown_backend_is_a_clean_error(self, capsys):
+        code = main(["fuzz", "--cases", "1", "--backends", "gpu"])
         captured = capsys.readouterr()
         assert code == 2
         assert "error:" in captured.err
@@ -296,3 +319,24 @@ class TestFuzz:
         captured = capsys.readouterr()
         assert code == 2
         assert "--save-corpus cannot be combined with --replay" in captured.err
+
+
+class TestProfile:
+    def test_profiles_a_named_workload(self, capsys):
+        code = main(
+            ["--engine-backend", "interned", "profile", "chain", "--cases", "5", "--top", "5"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "profiled 5 'chain' decisions on the interned backend" in captured.out
+        assert "cumulative" in captured.out
+
+    def test_sort_by_tottime(self, capsys):
+        code = main(["profile", "star", "--cases", "3", "--top", "3", "--sort", "tottime"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "internal time" in captured.out
+
+    def test_unknown_workload_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "fibonacci"])
