@@ -13,9 +13,10 @@ The workload is 1000 mixed pairs (random-acyclic DAG bodies at the 7×7
 size, wide stars, long chains) built by
 :func:`repro.workloads.scale.mixed_requests` with ``distinct=True``.  Both
 sessions use eviction-free caches (evictions depend on interleaving, which
-sharding changes by design) and ``capture_errors=True`` (a handful of
-random 7×7 systems exceed the exact solver's row cap; the failures are
-deterministic and must match across paths too).
+sharding changes by design) and ``capture_errors=True`` as a defensive
+posture — since the exact solver learned to fall back to the LP path when
+Fourier–Motzkin exceeds its row cap, every request in this workload
+decides, and the bench asserts the serial stream is **error-free**.
 
 The identity assertions always run.  The speedup assertion
 (``jobs=4 ≥ 2.5×`` serial) only runs on machines with at least 4 CPUs —
@@ -102,6 +103,15 @@ def bench_e14_parallel_batch() -> None:
     requests = _workload()
     serial_elapsed, serial_outcomes = _run(requests, jobs=1)
     errors = sum(1 for outcome in serial_outcomes if outcome.error is not None)
+    assert errors == 0, (
+        f"{errors} requests errored; the row-cap LP fallback should leave "
+        "this workload error-free: "
+        + "; ".join(
+            f"#{index}: {outcome.error!r}"
+            for index, outcome in enumerate(serial_outcomes)
+            if outcome.error is not None
+        )
+    )
     print(f"{'jobs':>6} {'seconds':>9} {'speedup':>8}")
     print(f"{1:>6} {serial_elapsed:>8.2f}s {'1.0x':>8}")
 

@@ -36,8 +36,8 @@ Sub-commands
 ``profile``
     Run a named workload from :mod:`repro.workloads.scale` under
     ``cProfile`` and print the top cumulative hot spots — so perf work
-    starts from measurements, not guesses.  Combine with
-    ``--engine-backend`` to profile a specific backend.
+    starts from measurements, not guesses.  ``--backend NAME`` profiles a
+    specific engine backend (shorthand for the global ``--engine-backend``).
 
 Queries are written in the datalog syntax of :mod:`repro.queries.parser`,
 e.g. ``"q(x1,x2) <- R^2(x1,y1), P(x2,y1)"``.
@@ -69,6 +69,19 @@ from repro.verify.oracles import OracleConfig
 from repro.verify.runner import CampaignConfig, campaign_corpus
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_value(value: str) -> "int | str":
+    """Parse a ``--jobs`` argument: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive int or 'auto', got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("jobs must be at least 1")
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,9 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     decide.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_value,
         default=1,
-        help="worker processes for --batch (1 = inline; results stay in request order)",
+        help="worker processes for --batch (1 = inline; 'auto' = one per core; "
+        "results stay in request order)",
     )
 
     set_decide = subparsers.add_parser("set-decide", help="decide set containment q1 ⊑s q2")
@@ -145,7 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--cases", type=int, default=200, help="number of generated cases")
     fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
-    fuzz.add_argument("--jobs", type=int, default=1, help="worker processes (1 = inline)")
+    fuzz.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="worker processes (1 = inline; 'auto' = one per core)",
+    )
     fuzz.add_argument(
         "--strategies",
         default=",".join(strategy_names()),
@@ -184,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         "workload",
         choices=("mixed", "acyclic", "chain", "star"),
         help="workload family from repro.workloads.scale",
+    )
+    profile.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="engine backend to profile (overrides the global --engine-backend)",
     )
     profile.add_argument("--cases", type=int, default=100, help="number of pairs to decide")
     profile.add_argument("--seed", type=int, default=0, help="workload seed")
@@ -325,10 +350,12 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
                 print(f"    {discrepancy.describe()}")
         return 1
 
+    from repro.parallel import resolve_jobs
+
     config = CampaignConfig(
         cases=args.cases,
         seed=args.seed,
-        jobs=args.jobs,
+        jobs=resolve_jobs(args.jobs),
         strategies=strategies,
         backends=backends,
         mutation_rate=args.mutation_rate,
@@ -408,7 +435,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fuzz": _run_fuzz,
         "profile": _run_profile,
     }
-    session = Session(backend=args.engine_backend, name="cli")
+    backend_name = getattr(args, "backend", None) or args.engine_backend
+    session = Session(backend=backend_name, name="cli")
     try:
         with session.activate():
             return handlers[args.command](args, session)
@@ -418,7 +446,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     finally:
         if args.engine_stats:
             print("engine cache statistics (session cache, this command only):")
-            if args.engine_backend == "naive":
+            if backend_name == "naive":
                 print("  note: this run used the naive backend, which bypasses the cache")
             for line in session.cache.describe().splitlines():
                 print(f"  {line}")
@@ -427,6 +455,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print("per-signature selectivity (probes / candidates returned):")
                 for line in backend.describe_selectivity().splitlines():
                     print(f"  {line}")
+            if hasattr(backend, "describe_replanning"):
+                print("adaptive replanning:")
+                print(f"  {backend.describe_replanning()}")
 
 
 if __name__ == "__main__":  # pragma: no cover

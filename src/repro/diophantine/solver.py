@@ -39,7 +39,7 @@ from typing import Sequence
 from repro.diophantine.inequalities import GeneralizedMPI, MonomialPolynomialInequality
 from repro.diophantine.monomials import Monomial
 from repro.diophantine.polynomials import Polynomial
-from repro.exceptions import DiophantineError
+from repro.exceptions import DiophantineError, LinearSystemError
 from repro.linalg.fourier_motzkin import solve_strict_system
 from repro.linalg.lp_scipy import lp_feasibility
 from repro.linalg.rationals import scale_to_natural
@@ -72,7 +72,9 @@ class MpiDecision:
     witness:
         A natural solution ``ξ`` of the MPI itself (``None`` when unsolvable).
     method:
-        ``"fourier-motzkin"`` or ``"lp"`` — which feasibility engine answered.
+        Which feasibility engine answered: ``"fourier-motzkin"``, ``"lp"``,
+        ``"trivial"``, or ``"lp-fallback"`` (the LP verdict accepted after
+        Fourier–Motzkin exceeded its elimination row cap).
     """
 
     solvable: bool
@@ -272,7 +274,25 @@ def _decide_with(
         if not fall_back_to_exact:
             return MpiDecision(outcome.feasible, inequality, system, None, None, "lp")
 
-    exact = solve_strict_system(restricted_system, require_positive=True)
+    try:
+        exact = solve_strict_system(restricted_system, require_positive=True)
+    except LinearSystemError:
+        # Fourier–Motzkin blew its row cap mid-elimination.  Rather than
+        # surfacing an error for a decidable instance, fall back to the LP
+        # formulation, which is insensitive to elimination blow-up: a
+        # feasible outcome carries an exactly-verified rational witness (so
+        # the positive answer is certified as usual), while an infeasible
+        # outcome is the solver's tolerance-based verdict — strictly more
+        # information than the error, and tagged ``method="lp-fallback"``
+        # so consumers can tell it from an exact elimination.
+        outcome = lp_feasibility(restricted_system, require_positive=True)
+        if outcome.feasible and outcome.witness is not None:
+            return _decision_from_linear(
+                inequality, system, support, restricted, outcome.witness, "lp-fallback"
+            )
+        if not outcome.feasible:
+            return MpiDecision(False, inequality, system, None, None, "lp-fallback")
+        raise  # feasible but unverifiable witness: no trustworthy answer
     return _decision_from_linear(
         inequality,
         system,

@@ -22,12 +22,16 @@ package turns that question into a compiled subsystem:
    compiled plan (and, for bags, one homomorphism enumeration) across whole
    probe-tuple or candidate-bag sweeps.
 
-Three backends implement the common interface: ``naive`` (the original
+Four backends implement the common interface: ``naive`` (the original
 recursive backtracker, kept as the executable specification), ``indexed``
-(the compiled engine, the default) and ``interned`` (the integer data plane
+(the compiled engine, the default), ``interned`` (the integer data plane
 of :mod:`repro.engine.interned`: terms interned to dense ids, columnar
 target storage, packed-key signature indexes, and join orders picked by
-observed per-signature selectivity).  Select globally with
+observed per-signature selectivity) and ``generated`` (the interned data
+plane executed by generated code — :mod:`repro.engine.codegen` compiles
+each plan suffix into one nested-loop function — with lazy substitution
+materialisation and the adaptive mid-execution replanner of
+:mod:`repro.engine.generated`).  Select globally with
 :func:`set_default_backend` / :func:`use_backend`, or per call via the
 ``backend=`` keyword; the CLI exposes the same choice as
 ``--engine-backend`` and prints :func:`default_cache` statistics under
@@ -39,6 +43,7 @@ from repro.engine.backends import (
     BACKEND_NAMES,
     Backend,
     BackendFactory,
+    GeneratedBackend,
     IndexedBackend,
     InternedBackend,
     NaiveBackend,
@@ -72,6 +77,12 @@ from repro.engine.executor import (
     execute_iterate,
 )
 from repro.engine.fingerprints import atoms_fingerprint, instance_fingerprint, query_fingerprint
+from repro.engine.generated import (
+    GeneratedPlan,
+    generated_count,
+    generated_exists,
+    generated_iterate,
+)
 from repro.engine.interned import (
     InternedPlan,
     compile_interned_plan,
@@ -98,6 +109,8 @@ __all__ = [
     "ContainmentMappingBatcher",
     "EngineCache",
     "ExecutionStats",
+    "GeneratedBackend",
+    "GeneratedPlan",
     "IndexedBackend",
     "InternedBackend",
     "InternedPlan",
@@ -123,6 +136,9 @@ __all__ = [
     "execute_count",
     "execute_exists",
     "execute_iterate",
+    "generated_count",
+    "generated_exists",
+    "generated_iterate",
     "get_backend",
     "get_default_backend",
     "has_homomorphism",

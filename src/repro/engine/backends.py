@@ -44,6 +44,14 @@ from repro.engine.executor import (
     execute_iterate,
 )
 from repro.engine.fingerprints import atoms_fingerprint
+from repro.engine.generated import (
+    DEFAULT_REPLAN_INTERVAL,
+    DEFAULT_REPLAN_THRESHOLD,
+    GeneratedPlan,
+    generated_count,
+    generated_exists,
+    generated_iterate,
+)
 from repro.engine.interned import (
     InternedPlan,
     compile_interned_plan,
@@ -63,6 +71,7 @@ __all__ = [
     "NaiveBackend",
     "IndexedBackend",
     "InternedBackend",
+    "GeneratedBackend",
     "BACKEND_NAMES",
     "BackendFactory",
     "backend_names",
@@ -294,6 +303,11 @@ class InternedBackend(Backend):
 
     name = "interned"
 
+    #: Tag mixed into plan-layer cache keys; subclasses that compile their
+    #: own plan flavour (the generated backend) override it so the two plan
+    #: kinds never collide inside one shared session cache.
+    _plan_tag = "interned"
+
     def __init__(self, cache: EngineCache | None = None, collect_stats: bool = True) -> None:
         self.cache = cache if cache is not None else EngineCache()
         self.stats = ExecutionStats() if collect_stats else None
@@ -351,20 +365,29 @@ class InternedBackend(Backend):
             atoms_fingerprint(source),
             atoms_fingerprint(target),
             fixed_variables,
-            "interned",
+            self._plan_tag,
             self.dictionary.serial,
         )
 
-        def build() -> InternedPlan:
-            return compile_interned_plan(
-                self.dictionary, self.target(target), source, fixed_variables, self.selectivity
-            )
+        def build():
+            return self._compile_plan(source, target, fixed_variables)
 
         plan = self.cache.plan_entry(key, build)  # type: ignore[assignment]
         if len(memo) >= self._PLAN_MEMO_LIMIT:
             memo.clear()
         memo[ident] = (source_atoms, target_atoms, plan)  # type: ignore[arg-type]
         return plan  # type: ignore[return-value]
+
+    def _compile_plan(
+        self,
+        source: tuple[Atom, ...],
+        target: tuple[Atom, ...],
+        fixed_variables: frozenset[Variable],
+    ):
+        """Build the plan-layer artefact; subclasses wrap or replace it."""
+        return compile_interned_plan(
+            self.dictionary, self.target(target), source, fixed_variables, self.selectivity
+        )
 
     # ------------------------------------------------------------------ #
     # Backend interface
@@ -410,14 +433,15 @@ class InternedBackend(Backend):
             ),
         )
 
-    @staticmethod
+    @classmethod
     def _result_key(
+        cls,
         mode: str,
         source: tuple[Atom, ...],
         target: tuple[Atom, ...],
         fixed: Mapping[Variable, Term] | None,
     ) -> tuple:
-        return _scalar_result_key("interned", mode, source, target, fixed)
+        return _scalar_result_key(cls.name, mode, source, target, fixed)
 
     # ------------------------------------------------------------------ #
     # Selectivity statistics
@@ -442,8 +466,123 @@ class InternedBackend(Backend):
         return "\n".join(lines)
 
 
+class GeneratedBackend(InternedBackend):
+    """Closure-compiled execution over the interned data plane.
+
+    Shares everything structural with :class:`InternedBackend` — the term
+    dictionary, the columnar targets, the selectivity counters, the
+    cost-ordered planner — but wraps each compiled plan in a
+    :class:`~repro.engine.generated.GeneratedPlan`: the plan suffix is
+    emitted as one specialized nested-loop function per execution mode (no
+    per-row step dispatch, no trail), and the driver samples the live
+    selectivity counters every ``replan_interval`` top-level rows,
+    re-ordering and recompiling the unexecuted suffix when observations
+    diverge from the planned estimates by ``replan_threshold`` (a ratio).
+    Replanning permutes enumeration order only, so all four backends stay
+    verdict-, certificate- and count-identical.
+
+    Plans hold compiled closures, which are deliberately *not* picklable —
+    parallel workers rebuild backends by name from a
+    :class:`~repro.session.SessionSpec` and regenerate the closures from
+    their own dictionaries, which is the only sound thing to do anyway
+    (term ids are per-process).
+    """
+
+    name = "generated"
+    _plan_tag = "generated"
+
+    def __init__(
+        self,
+        cache: EngineCache | None = None,
+        collect_stats: bool = True,
+        replan_interval: int = DEFAULT_REPLAN_INTERVAL,
+        replan_threshold: float = DEFAULT_REPLAN_THRESHOLD,
+    ) -> None:
+        super().__init__(cache=cache, collect_stats=collect_stats)
+        self.replan_interval = int(replan_interval)
+        self.replan_threshold = float(replan_threshold)
+        #: Shared ``[checks, replans]`` counters, aggregated across every
+        #: plan this backend compiled — what ``--engine-stats`` reports.
+        self.replan_events: list[int] = [0, 0]
+
+    def _compile_plan(
+        self,
+        source: tuple[Atom, ...],
+        target: tuple[Atom, ...],
+        fixed_variables: frozenset[Variable],
+    ) -> GeneratedPlan:
+        interned_target = self.target(target)
+        base = compile_interned_plan(
+            self.dictionary, interned_target, source, fixed_variables, self.selectivity
+        )
+        return GeneratedPlan(
+            base,
+            self.dictionary,
+            interned_target,
+            self.selectivity,
+            replan_interval=self.replan_interval,
+            replan_threshold=self.replan_threshold,
+            events=self.replan_events,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Backend interface
+    # ------------------------------------------------------------------ #
+    def iterate(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> Iterator[Substitution]:
+        plan = self.plan(source_atoms, target_atoms, fixed)
+        return generated_iterate(plan, self.dictionary, fixed, stats=self.stats)
+
+    def count(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> int:
+        source = tuple(source_atoms)
+        target = tuple(target_atoms)
+        key = self._result_key("count", source, target, fixed)
+        return self.cache.result(  # type: ignore[return-value]
+            key,
+            lambda: generated_count(
+                self.plan(source, target, fixed), self.dictionary, fixed, stats=self.stats
+            ),
+        )
+
+    def exists(
+        self,
+        source_atoms: Iterable[Atom],
+        target_atoms: Iterable[Atom],
+        fixed: Mapping[Variable, Term] | None = None,
+    ) -> bool:
+        source = tuple(source_atoms)
+        target = tuple(target_atoms)
+        key = self._result_key("exists", source, target, fixed)
+        return self.cache.result(  # type: ignore[return-value]
+            key,
+            lambda: generated_exists(
+                self.plan(source, target, fixed), self.dictionary, fixed, stats=self.stats
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Replanning statistics
+    # ------------------------------------------------------------------ #
+    def describe_replanning(self) -> str:
+        """One line of replan activity for ``--engine-stats``."""
+        checks, replans = self.replan_events
+        return (
+            f"replan checks: {checks}, replans triggered: {replans} "
+            f"(interval {self.replan_interval} rows, threshold {self.replan_threshold:g}x)"
+        )
+
+
 #: The canonical built-in backend names, in CLI presentation order.
-BACKEND_NAMES = ("naive", "indexed", "interned")
+BACKEND_NAMES = ("naive", "indexed", "interned", "generated")
 
 #: A backend factory: given an (optional) cache to share, build an instance.
 #: Factories that need no cache (like the naive reference) ignore the argument.
@@ -453,6 +592,7 @@ _FACTORIES: dict[str, BackendFactory] = {
     "naive": lambda cache: NaiveBackend(),
     "indexed": lambda cache: IndexedBackend(cache=cache),
     "interned": lambda cache: InternedBackend(cache=cache),
+    "generated": lambda cache: GeneratedBackend(cache=cache),
 }
 
 #: Lazily built process-wide shared instances (the legacy, session-less path).

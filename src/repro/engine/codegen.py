@@ -1,0 +1,255 @@
+"""Closure generation for the ``generated`` backend: one function per plan.
+
+The interned executor is already integer-only, but it is still an
+*interpreter*: every row pays the per-step dispatch (filter or join? packed
+key or bucket scan?), the trail bookkeeping, and a fresh iterator object per
+descent.  This module removes all of that by compiling a plan suffix into
+**one Python function** — the join steps become nested ``for`` loops, slot
+bindings become local variables, packed-key arithmetic is emitted with the
+shift amounts and constant term ids baked in as literals, and probes whose
+keys are fully constant are resolved to a static row tuple at compile time.
+The only remaining per-probe work is exactly the work the data demands: a
+dictionary ``get``, the selectivity counter ticks (which the adaptive
+replanner feeds on), and the loop body.
+
+Three flavours share one emitter, differing only in their terminal action:
+
+``count``
+    ``fn(binding) -> int`` — the number of solutions in the subtree.  When
+    the innermost step binds only distinct fresh slots, the loop collapses
+    to ``total += len(rows)``.
+``exists``
+    ``fn(binding) -> bool`` — ``return True`` from the innermost loop exits
+    the whole nest at the first witness, with no unwinding machinery.
+``collect``
+    ``fn(binding, emit) -> None`` — calls ``emit(solution_tuple)`` once per
+    solution, where the tuple lists every slot's term id (``-1`` for slots
+    the plan never binds).
+
+Generated functions never backtrack explicitly: loop locals are simply
+overwritten by the next row, which is what makes the emitted code both
+correct and fast.  A duplicated fresh variable inside one atom compiles to a
+row-level equality check (both occurrences come from the same candidate
+row), so cross-iteration state never leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.engine.interned import InternedStep
+from repro.engine.interning import ID_BITS
+
+__all__ = ["compile_static", "compile_suffix"]
+
+#: The three terminal flavours the emitter knows how to close a nest with.
+MODES = ("count", "exists", "collect")
+
+
+def _split_new_ops(
+    new_ops: Sequence[tuple[int, int]],
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Split ``(position, slot)`` ops into first-occurrence binds and checks.
+
+    A fresh variable repeated inside one atom contributes one bind (its
+    first position) plus one ``(first, later)`` position pair per repeat;
+    the emitted check compares two cells of the *same* row, so no binding
+    state is involved at all.
+    """
+    binds: list[tuple[int, int]] = []
+    checks: list[tuple[int, int]] = []
+    first_position: dict[int, int] = {}
+    for position, slot in new_ops:
+        seen = first_position.get(slot)
+        if seen is None:
+            first_position[slot] = position
+            binds.append((position, slot))
+        else:
+            checks.append((seen, position))
+    return binds, checks
+
+
+def _entry_slots(steps: Sequence[InternedStep]) -> list[int]:
+    """Slots the suffix reads from ``binding`` (bound before the suffix runs)."""
+    assigned: set[int] = set()
+    needed: set[int] = set()
+    for step in steps:
+        for op in step.key_ops:
+            if op >= 0 and op not in assigned:
+                needed.add(op)
+        for _, slot in step.new_ops:
+            assigned.add(slot)
+    return sorted(needed)
+
+
+def compile_static(steps: Sequence[InternedStep]) -> Callable[[list], bool]:
+    """Compile the hoisted static filters into one straight-line function.
+
+    Static filter keys read only constants and pre-fixed slots, so the
+    generated body is a flat sequence of probes — fully constant keys are
+    resolved to their row tuple at compile time — each followed by its
+    counter ticks and an early ``return False``.  Long projection-free
+    containment folds (the E7 chain family) are *nothing but* this pass,
+    which is why it is generated rather than interpreted.
+    """
+    env: dict[str, object] = {"_E": ()}
+    lines: list[str] = ["def _run(binding):"]
+    for index, step in enumerate(steps):
+        rows = f"rows{index}"
+        key_ops = step.key_ops
+        if step.group is None:
+            env[f"B{index}"] = step.bucket
+            lines.append(f"    {rows} = B{index}")
+        elif all(op < 0 for op in key_ops):
+            packed = 0
+            for op in key_ops:
+                packed = (packed << ID_BITS) | (-1 - op)
+            env[f"B{index}"] = step.group.get(packed, ())
+            lines.append(f"    {rows} = B{index}")
+        else:
+            env[f"G{index}"] = step.group.get
+            parts = [f"binding[{op}]" if op >= 0 else str(-1 - op) for op in key_ops]
+            expression = parts[0]
+            for part in parts[1:]:
+                expression = f"({expression} << {ID_BITS} | {part})"
+            lines.append(f"    {rows} = G{index}({expression}, _E)")
+        env[f"C{index}"] = step.counter
+        lines.append(f"    C{index}[0] += 1")
+        lines.append(f"    C{index}[1] += len({rows})")
+        lines.append(f"    if not {rows}:")
+        lines.append("        return False")
+    lines.append("    return True")
+    exec("\n".join(lines), env)  # noqa: S102 - the source is fully synthesized above
+    function = env["_run"]
+    function.__source__ = "\n".join(lines)  # type: ignore[attr-defined]
+    return function  # type: ignore[return-value]
+
+
+def compile_suffix(
+    steps: Sequence[InternedStep],
+    mode: str,
+    num_slots: int,
+) -> Callable:
+    """Compile a plan suffix into one specialized function.
+
+    *steps* run in the given order inside a single nested-loop function;
+    *num_slots* is the plan's full slot count (the ``collect`` flavour emits
+    complete solution tuples, so it reads every slot at entry).  The
+    function reads pre-bound slots from ``binding`` once, in a prologue, and
+    never writes ``binding`` — the caller's slot state is untouched.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown codegen mode {mode!r}; expected one of {MODES}")
+
+    env: dict[str, object] = {"_E": ()}
+    lines: list[str] = []
+    signature = "binding, emit" if mode == "collect" else "binding"
+    lines.append(f"def _run({signature}):")
+
+    # Prologue: hoist the pre-bound slots into locals.  ``collect`` reads
+    # every slot because its terminal emits the full solution tuple
+    # (never-bound slots stay at the caller's -1 and are dropped when the
+    # substitution is materialised).
+    entry = range(num_slots) if mode == "collect" else _entry_slots(steps)
+    for slot in entry:
+        lines.append(f"    v{slot} = binding[{slot}]")
+    if mode == "count":
+        lines.append("    total = 0")
+
+    if mode == "collect":
+        solution = ", ".join(f"v{slot}" for slot in range(num_slots))
+        terminal = f"emit(({solution},))" if num_slots else "emit(())"
+    elif mode == "count":
+        terminal = "total += 1"
+    else:
+        terminal = "return True"
+
+    depth = 1
+    last_index = len(steps) - 1
+    for index, step in enumerate(steps):
+        pad = "    " * depth
+        last = index == last_index
+        rows = f"rows{index}"
+
+        # --- Probe: how this step's candidate rows are obtained. ----------
+        key_ops = step.key_ops
+        if step.group is None:
+            # Empty signature: the whole bucket, baked in as a constant.
+            env[f"B{index}"] = step.bucket
+            lines.append(f"{pad}{rows} = B{index}")
+        elif all(op < 0 for op in key_ops):
+            # Fully constant key: resolve the probe at compile time.
+            packed = 0
+            for op in key_ops:
+                packed = (packed << ID_BITS) | (-1 - op)
+            env[f"B{index}"] = step.group.get(packed, ())
+            lines.append(f"{pad}{rows} = B{index}")
+        else:
+            env[f"G{index}"] = step.group.get
+            parts = [f"v{op}" if op >= 0 else str(-1 - op) for op in key_ops]
+            expression = parts[0]
+            for part in parts[1:]:
+                expression = f"({expression} << {ID_BITS} | {part})"
+            lines.append(f"{pad}{rows} = G{index}({expression}, _E)")
+
+        # Selectivity counters feed the planner and the adaptive replanner,
+        # so every flavour ticks them exactly like the interpreter does.
+        env[f"C{index}"] = step.counter
+        lines.append(f"{pad}C{index}[0] += 1")
+        lines.append(f"{pad}C{index}[1] += len({rows})")
+
+        binds, checks = _split_new_ops(step.new_ops)
+
+        # --- Terminal short-circuits on the innermost step. ---------------
+        if last and mode == "count" and not checks:
+            if binds:
+                # Distinct fresh slots: every candidate row is a solution.
+                lines.append(f"{pad}total += len({rows})")
+            else:
+                lines.append(f"{pad}if {rows}:")
+                lines.append(f"{pad}    total += 1")
+            continue
+        if last and mode == "exists" and not checks:
+            lines.append(f"{pad}if {rows}:")
+            lines.append(f"{pad}    return True")
+            continue
+
+        # --- The general nest: filter gate or candidate-row loop. ---------
+        if not step.new_ops:
+            # Filter: a full-signature membership probe, one candidate max.
+            lines.append(f"{pad}if {rows}:")
+            depth += 1
+            pad = "    " * depth
+        else:
+            lines.append(f"{pad}for row{index} in {rows}:")
+            depth += 1
+            pad = "    " * depth
+            for first, later in checks:
+                lines.append(f"{pad}if row{index}[{first}] != row{index}[{later}]:")
+                lines.append(f"{pad}    continue")
+            if last and mode != "collect":
+                # Scalar terminals never read the last step's fresh slots.
+                pass
+            else:
+                for position, slot in binds:
+                    lines.append(f"{pad}v{slot} = row{index}[{position}]")
+        if last:
+            lines.append(f"{pad}{terminal}")
+
+    if not steps:
+        # Empty suffix: the caller's binding is already a full solution.
+        if mode == "count":
+            lines.append("    return 1")
+        elif mode == "exists":
+            lines.append("    return True")
+        else:
+            lines.append(f"    {terminal}")
+    elif mode == "count":
+        lines.append("    return total")
+    elif mode == "exists":
+        lines.append("    return False")
+
+    exec("\n".join(lines), env)  # noqa: S102 - the source is fully synthesized above
+    function = env["_run"]
+    function.__source__ = "\n".join(lines)  # type: ignore[attr-defined]
+    return function  # type: ignore[return-value]

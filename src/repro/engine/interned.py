@@ -31,6 +31,7 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.engine.executor import ExecutionStats, _Run
 from repro.engine.interning import ID_BITS, InternedTarget, TermDictionary
+from repro.engine.plan import greedy_order
 from repro.exceptions import ReproError
 from repro.relational.atoms import Atom
 from repro.relational.substitutions import Substitution
@@ -39,10 +40,13 @@ from repro.relational.terms import Term, Variable
 __all__ = [
     "InternedPlan",
     "InternedStep",
+    "atom_signature",
     "compile_interned_plan",
+    "compile_step",
     "interned_count",
     "interned_exists",
     "interned_iterate",
+    "step_cost",
 ]
 
 #: Selectivity counters: ``[probes, candidates returned]`` per signature.
@@ -165,6 +169,77 @@ def _signature_of(step: InternedStep) -> list[tuple[int, int]]:
     return list(zip(bound_positions, step.key_ops))
 
 
+def atom_signature(atom: Atom, bound: set[Variable]) -> tuple[int, ...]:
+    """The bound-position signature of *atom* under the current bound set."""
+    return tuple(
+        position
+        for position, term in enumerate(atom.terms)
+        if not isinstance(term, Variable) or term in bound
+    )
+
+
+def step_cost(
+    target: InternedTarget,
+    selectivity: SelectivityCounters,
+    atom: Atom,
+    bound: set[Variable],
+    live: bool = False,
+) -> tuple[float, int]:
+    """Greedy scheduling cost of matching *atom* next.
+
+    The primary component is the candidates-per-probe estimate of the
+    atom's bound-position signature (see
+    :meth:`~repro.engine.interning.InternedTarget.cost_estimate`); ties
+    prefer more determined positions.  With ``live=True`` the running
+    ``[probes, candidates]`` counters take precedence — the adaptive
+    replanner's view of the world.  Compile time keeps ``live=False`` so a
+    plan's order is a deterministic function of the target's built-index
+    state, never of how often earlier executions probed it.
+    """
+    determined = atom_signature(atom, bound)
+    counter = (
+        selectivity.get((atom.relation, atom.arity, determined)) if live else None
+    )
+    cost = target.cost_estimate(atom.relation, atom.arity, determined, counter)
+    return (cost, -len(determined))
+
+
+def compile_step(
+    dictionary: TermDictionary,
+    target: InternedTarget,
+    selectivity: SelectivityCounters,
+    slot_of: Mapping[Variable, int],
+    atom: Atom,
+    bound: set[Variable],
+) -> InternedStep:
+    """Compile one atom into an :class:`InternedStep` under *bound*.
+
+    Shared by the plan compiler and the generated backend's mid-execution
+    replanner (which re-derives key/new ops for a re-ordered plan suffix).
+    """
+    key_ops: list[int] = []
+    new_ops: list[tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term in bound:
+                key_ops.append(slot_of[term])
+            else:
+                new_ops.append((position, slot_of[term]))
+        else:
+            # Constant ids ride in the same op stream, encoded below the
+            # slot range as ``-1 - id`` so the executor needs one branch.
+            key_ops.append(-1 - dictionary.intern(term))
+    determined = atom_signature(atom, bound)
+    if determined:
+        group = target.group_index(atom.relation, atom.arity, determined)
+        bucket: tuple[tuple[int, ...], ...] = ()
+    else:
+        group = None
+        bucket = target.rows(atom.relation, atom.arity)
+    counter = selectivity.setdefault((atom.relation, atom.arity, determined), [0, 0])
+    return InternedStep(atom, group, bucket, tuple(key_ops), tuple(new_ops), counter)
+
+
 def compile_interned_plan(
     dictionary: TermDictionary,
     target: InternedTarget,
@@ -191,54 +266,14 @@ def compile_interned_plan(
     slot_variables = tuple(sorted(source_variables | fixed_variables, key=lambda v: v.name))
     slot_of = {variable: slot for slot, variable in enumerate(slot_variables)}
     self_ids = tuple(dictionary.intern(variable) for variable in slot_variables)
-    sizes = target.relation_sizes()
-
-    def signature(atom: Atom, bound: set[Variable]) -> tuple[int, ...]:
-        return tuple(
-            position
-            for position, term in enumerate(atom.terms)
-            if not isinstance(term, Variable) or term in bound
-        )
 
     def estimate(atom: Atom, bound: set[Variable]) -> tuple[float, int]:
-        determined = signature(atom, bound)
-        observed = target.selectivity(atom.relation, atom.arity, determined)
-        if observed is not None:
-            return (observed, -len(determined))
-        bucket = sizes.get((atom.relation, atom.arity), 0)
-        return (bucket / (4.0 ** len(determined)), -len(determined))
+        return step_cost(target, selectivity, atom, bound)
 
     bound: set[Variable] = set(fixed_variables)
-    remaining = list(source)
     steps: list[InternedStep] = []
-    while remaining:
-        best_index = min(range(len(remaining)), key=lambda i: estimate(remaining[i], bound))
-        atom = remaining.pop(best_index)
-
-        key_ops: list[int] = []
-        new_ops: list[tuple[int, int]] = []
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Variable):
-                if term in bound:
-                    key_ops.append(slot_of[term])
-                else:
-                    new_ops.append((position, slot_of[term]))
-            else:
-                # Constant ids ride in the same op stream, encoded below the
-                # slot range as ``-1 - id`` so the executor needs one branch.
-                key_ops.append(-1 - dictionary.intern(term))
-        determined = signature(atom, bound)
-        if determined:
-            group = target.group_index(atom.relation, atom.arity, determined)
-            bucket: tuple[tuple[int, ...], ...] = ()
-        else:
-            group = None
-            bucket = target.rows(atom.relation, atom.arity)
-        counter = selectivity.setdefault((atom.relation, atom.arity, determined), [0, 0])
-        steps.append(
-            InternedStep(atom, group, bucket, tuple(key_ops), tuple(new_ops), counter)
-        )
-        bound.update(atom.variables())
+    for atom, _ in greedy_order(source, bound, estimate):
+        steps.append(compile_step(dictionary, target, selectivity, slot_of, atom, bound))
 
     # Hoist the pure preconditions: filter steps (no fresh slots) whose keys
     # read only constants and pre-fixed slots hold independently of every

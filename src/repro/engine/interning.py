@@ -32,12 +32,19 @@ from __future__ import annotations
 
 import itertools
 from array import array
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.relational.atoms import Atom
 from repro.relational.terms import Term
 
-__all__ = ["ID_BITS", "InternedRelation", "InternedTarget", "TermDictionary", "pack_ids"]
+__all__ = [
+    "ID_BITS",
+    "InternedRelation",
+    "InternedTarget",
+    "TermDictionary",
+    "observed_average",
+    "pack_ids",
+]
 
 #: Bits reserved per id when packing a multi-position signature key.  Ids are
 #: dense (one per distinct term seen by a backend), so 32 bits of headroom
@@ -109,6 +116,18 @@ def pack_ids(ids: Iterable[int]) -> int:
     return packed
 
 
+def observed_average(counter: Sequence[int] | None) -> float | None:
+    """Candidates-per-probe of a live ``[probes, candidates]`` counter stream.
+
+    ``None`` before the first probe — callers then fall back to the static
+    index statistics.  This is the *measured* selectivity the adaptive
+    replanner compares against a plan's compile-time estimates.
+    """
+    if not counter or not counter[0]:
+        return None
+    return counter[1] / counter[0]
+
+
 class InternedRelation:
     """Columnar storage of one ``(relation, arity)`` target bucket."""
 
@@ -139,16 +158,22 @@ class InternedTarget:
     by.
     """
 
-    __slots__ = ("_dictionary", "_relations", "_groups", "_atoms")
+    __slots__ = ("_dictionary", "_relations", "_groups", "_atoms", "term_ids")
 
     def __init__(self, dictionary: TermDictionary, target_atoms: Iterable[Atom]) -> None:
         self._dictionary = dictionary
         self._atoms: tuple[Atom, ...] = tuple(dict.fromkeys(target_atoms))
         buckets: dict[tuple[str, int], list[tuple[int, ...]]] = {}
+        ids: set[int] = set()
         for atom in self._atoms:
-            buckets.setdefault((atom.relation, atom.arity), []).append(
-                dictionary.intern_many(atom.terms)
-            )
+            row = dictionary.intern_many(atom.terms)
+            ids.update(row)
+            buckets.setdefault((atom.relation, atom.arity), []).append(row)
+        #: Every term id appearing in the target's rows.  A plan whose slot
+        #: self-ids are disjoint from this set can never produce an identity
+        #: binding (``x -> x``), which unlocks the generated backend's
+        #: C-level substitution materialisation.
+        self.term_ids: frozenset[int] = frozenset(ids)
         self._relations: dict[tuple[str, int], InternedRelation] = {
             (relation, arity): InternedRelation(arity, rows)
             for (relation, arity), rows in buckets.items()
@@ -210,6 +235,34 @@ class InternedTarget:
         if bucket is None or not index:
             return 0.0
         return len(bucket) / len(index)
+
+    def cost_estimate(
+        self,
+        relation: str,
+        arity: int,
+        signature: tuple[int, ...],
+        counter: Sequence[int] | None = None,
+    ) -> float:
+        """The best available candidates-per-probe estimate for one signature.
+
+        Three tiers, most-informed first: the *live* probe counters (what
+        executions actually observed, including key skew), then the built
+        signature index's structural average (``bucket / groups``), then the
+        static fail-first guess (``bucket / 4^determined``).  Every planner
+        in the integer data plane — the interned compiler and the generated
+        backend's mid-execution replanner — prices join steps through this
+        one method, so compile-time and replan-time decisions are always
+        comparable.
+        """
+        live = observed_average(counter)
+        if live is not None:
+            return live
+        structural = self.selectivity(relation, arity, signature)
+        if structural is not None:
+            return structural
+        bucket = self._relations.get((relation, arity))
+        size = len(bucket) if bucket is not None else 0
+        return size / (4.0 ** len(signature))
 
     def built_signatures(self) -> Iterator[tuple[str, int, tuple[int, ...]]]:
         """The ``(relation, arity, signature)`` triples with built indexes."""

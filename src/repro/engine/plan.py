@@ -37,7 +37,7 @@ is shared across all queries probing the same instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ReproError
 from repro.relational.atoms import Atom
@@ -50,6 +50,7 @@ __all__ = [
     "MatchPlan",
     "compile_template",
     "compile_plan",
+    "greedy_order",
 ]
 
 
@@ -126,6 +127,36 @@ class JoinTemplate:
         return "\n".join(lines)
 
 
+def greedy_order(
+    atoms: Sequence[Atom],
+    bound: set[Variable],
+    estimate: Callable[[Atom, set[Variable]], tuple[float, int]],
+) -> Iterator[tuple[Atom, tuple[float, int]]]:
+    """Yield *atoms* in greedy fail-first order under a pluggable cost model.
+
+    At each step the atom minimising ``estimate(atom, bound)`` is scheduled
+    (ties keep the original atom order, so scheduling is deterministic for a
+    fixed cost model) and yielded together with the winning cost, and
+    *bound* — mutated in place — absorbs the atom's variables before the
+    next pick.  The mutation happens on generator resume, so a consumer
+    that builds one step per yielded atom always observes the bound set as
+    of *before* that atom.  Every join compiler in the engine (the indexed
+    template compiler, the interned planner, and the generated backend's
+    mid-execution replanner) runs its ordering through this one loop.
+    """
+    remaining = list(atoms)
+    while remaining:
+        best_index = 0
+        best_cost = estimate(remaining[0], bound)
+        for index in range(1, len(remaining)):
+            cost = estimate(remaining[index], bound)
+            if cost < best_cost:
+                best_cost, best_index = cost, index
+        atom = remaining.pop(best_index)
+        yield atom, best_cost
+        bound.update(atom.variables())
+
+
 def compile_template(
     source_atoms: Iterable[Atom],
     fixed_variables: Iterable[Variable] = (),
@@ -162,13 +193,9 @@ def compile_template(
         return (bucket / (4.0 ** determined), -determined)
 
     bound: set[Variable] = set(fixed)
-    remaining = list(source)
     steps: list[PlanStep] = []
-    while remaining:
-        best_index = min(range(len(remaining)), key=lambda i: estimate(remaining[i], bound))
-        atom = remaining.pop(best_index)
+    for atom, _ in greedy_order(source, bound, estimate):
         steps.append(_make_step(atom, bound))
-        bound.update(atom.variables())
 
     return JoinTemplate(
         source_atoms=source,

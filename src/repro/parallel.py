@@ -49,8 +49,10 @@ from __future__ import annotations
 import dataclasses
 import functools
 import multiprocessing
+import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence, TypeVar
 
@@ -64,10 +66,44 @@ __all__ = [
     "merged_cache_stats",
     "parallel_batch",
     "pool_imap",
+    "resolve_jobs",
     "shard",
 ]
 
 _T = TypeVar("_T")
+
+
+_AUTO_SERIAL_WARNED = False
+
+
+def resolve_jobs(jobs: int | str) -> int:
+    """Resolve a ``jobs=`` request — a positive int or ``"auto"`` — to a count.
+
+    ``"auto"`` asks for one worker per available core.  On a single-core
+    machine that degenerates to the serial path, which is the right call
+    (a one-worker pool only adds rehydration and IPC overhead on top of the
+    identical serial semantics) but easy to miss — so the fallback warns,
+    once per process, instead of silently ignoring the parallelism request.
+    """
+    global _AUTO_SERIAL_WARNED
+    if jobs == "auto":
+        cores = os.cpu_count() or 1
+        if cores <= 1:
+            if not _AUTO_SERIAL_WARNED:
+                _AUTO_SERIAL_WARNED = True
+                warnings.warn(
+                    "jobs='auto' found a single-core machine; "
+                    "running the batch serially (warned once per process)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return 1
+        return cores
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ParallelError(f"jobs must be a positive int or 'auto', got {jobs!r}")
+    if jobs < 1:
+        raise ParallelError("jobs must be at least 1")
+    return jobs
 
 
 # --------------------------------------------------------------------- #

@@ -565,7 +565,7 @@ class Session:
         self,
         requests: Iterable[ContainmentRequest | EvaluationRequest | MpiRequest],
         capture_errors: bool = False,
-        jobs: int = 1,
+        jobs: int | str = 1,
         chunk_size: int | None = None,
     ) -> Iterator[Outcome]:
         """Stream outcomes for a sweep of heterogeneous requests.
@@ -585,13 +585,23 @@ class Session:
         back **in request order** with the same verdicts and certificates
         as the serial path, and worker cache deltas are folded back into
         this session's cache statistics.  ``chunk_size`` overrides the
-        chunking heuristic (requests per worker task).
+        chunking heuristic (requests per worker task).  ``jobs="auto"``
+        sizes the pool to the machine's core count
+        (:func:`repro.parallel.resolve_jobs`); on a single-core box it
+        falls back to the serial path with a once-per-process warning.
 
         With ``capture_errors=True`` a failing request yields an
         :class:`Outcome` carrying the error instead of raising, so one
         poisoned request cannot kill the stream.  The session's
         ``max_batch_size`` limit bounds how many requests are consumed.
         """
+        if jobs == "auto" or not isinstance(jobs, int):
+            from repro.parallel import resolve_jobs
+
+            try:
+                jobs = resolve_jobs(jobs)
+            except Exception as error:
+                raise SessionError(str(error)) from error
         if jobs < 1:
             raise SessionError("jobs must be at least 1")
         limit = self.limits.max_batch_size

@@ -129,6 +129,34 @@ class TestDecideMpi:
         assert decide_mpi_via_lp(mpi([(2, (0, 3)), (1, (1, 0))], (2, 0))).solvable
 
 
+class TestRowCapLpFallback:
+    """Fourier–Motzkin row-cap overflows fall back to the LP path."""
+
+    def _with_capped_fm(self, monkeypatch):
+        from repro.diophantine import solver as solver_module
+        from repro.exceptions import LinearSystemError
+
+        def blown(*args, **kwargs):
+            raise LinearSystemError("row cap exceeded (simulated)")
+
+        monkeypatch.setattr(solver_module, "solve_strict_system", blown)
+
+    def test_solvable_instance_survives_the_row_cap(self, monkeypatch):
+        self._with_capped_fm(monkeypatch)
+        decision = decide_mpi(section4_mpi())
+        assert decision.solvable
+        assert decision.method == "lp-fallback"
+        assert decision.witness is not None
+        assert section4_mpi().is_solution(decision.witness)
+
+    def test_unsolvable_instance_survives_the_row_cap(self, monkeypatch):
+        self._with_capped_fm(monkeypatch)
+        decision = decide_mpi(mpi([(1, (1, 0)), (1, (0, 1))], (1, 0)))
+        assert not decision.solvable
+        assert decision.method == "lp-fallback"
+        assert decision.witness is None
+
+
 class TestDecideMpiViaLp:
     def test_agrees_with_exact_on_the_paper_example(self):
         exact = decide_mpi(section4_mpi())

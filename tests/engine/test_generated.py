@@ -1,0 +1,210 @@
+"""Unit tests for the generated backend: codegen, replanning, lazy results."""
+
+import pickle
+
+import pytest
+
+from repro.engine import EngineCache, GeneratedBackend, get_backend
+from repro.engine.codegen import MODES, compile_suffix
+from repro.engine.generated import _LazySubstitution
+from repro.relational.atoms import Atom
+from repro.relational.substitutions import Substitution
+from repro.relational.terms import Constant, Variable
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a, b, k = Constant("a"), Constant("b"), Constant("k")
+
+
+def fresh_backend(**kwargs) -> GeneratedBackend:
+    return GeneratedBackend(cache=EngineCache(), **kwargs)
+
+
+def _replan_flip_case():
+    """A workload whose live statistics invert the compile-time suffix order.
+
+    The driver loop runs the 100-row ``R`` bucket.  At compile time the
+    static fail-first guess prices ``S`` (150 rows) below ``T`` (200 rows),
+    so the suffix is S-then-T — but every probe actually hits ``S``'s hot
+    key (120 candidates) while ``T`` returns a single row, so the replanner
+    must flip the suffix to T-then-S mid-execution.
+    """
+    source = [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (y, w))]
+    target = (
+        [Atom("R", (Constant(f"a{i}"), k)) for i in range(100)]
+        + [Atom("S", (k, Constant(f"m{j}"))) for j in range(120)]
+        + [Atom("S", (Constant(f"d{j}"), Constant(f"e{j}"))) for j in range(30)]
+        + [Atom("T", (k, Constant("w0")))]
+        + [Atom("T", (Constant(f"t{j}"), Constant(f"u{j}"))) for j in range(199)]
+    )
+    return source, target, 100 * 120 * 1
+
+
+def _replan_confirm_case():
+    """Diverged statistics that *confirm* the current order (no reorder)."""
+    source = [Atom("R", (x, y)), Atom("S", (y, z)), Atom("T", (y, w))]
+    target = (
+        [Atom("R", (Constant(f"a{i}"), k)) for i in range(100)]
+        + [Atom("S", (k, Constant(f"m{j}"))) for j in range(2)]
+        + [Atom("S", (Constant(f"d{j}"), Constant(f"e{j}"))) for j in range(198)]
+        + [Atom("T", (k, Constant(f"w{j}"))) for j in range(3)]
+        + [Atom("T", (Constant(f"t{j}"), Constant(f"u{j}"))) for j in range(397)]
+    )
+    return source, target, 100 * 2 * 3
+
+
+class TestCodegen:
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            compile_suffix((), "minimize", 0)
+
+    def test_compiled_functions_carry_their_source(self):
+        for mode in MODES:
+            function = compile_suffix((), mode, 2)
+            assert "def _run(" in function.__source__
+
+    def test_duplicate_fresh_variables_become_row_checks(self):
+        # S(y, y) inside one atom: both occurrences come from the same row.
+        backend = fresh_backend()
+        source = [Atom("R", (x,)), Atom("S", (x, y, y))]
+        target = [
+            Atom("R", (a,)),
+            Atom("S", (a, b, b)),
+            Atom("S", (a, b, k)),  # mismatched duplicate: must be filtered
+        ]
+        naive = get_backend("naive")
+        assert backend.count(source, target) == naive.count(source, target) == 1
+
+    def test_modes_agree_on_a_joined_source(self):
+        backend = fresh_backend()
+        naive = get_backend("naive")
+        source = [Atom("R", (x, y)), Atom("S", (y, z))]
+        target = [Atom("R", (a, b)), Atom("S", (b, k)), Atom("S", (b, b))]
+        count = naive.count(source, target)
+        assert backend.count(source, target) == count
+        assert backend.exists(source, target) == (count > 0)
+        assert len(list(backend.iterate(source, target))) == count
+
+
+class TestLazySubstitution:
+    def test_fast_path_yields_lazy_substitutions(self):
+        backend = fresh_backend()
+        source = [Atom("R", (x, y))]
+        target = [Atom("R", (a, b)), Atom("R", (b, k))]
+        solutions = list(backend.iterate(source, target))
+        assert len(solutions) == 2
+        assert all(isinstance(s, _LazySubstitution) for s in solutions)
+        assert {s[x] for s in solutions} == {a, b}
+
+    def test_lazy_substitutions_behave_like_eager_ones(self):
+        backend = fresh_backend()
+        (solution,) = backend.iterate([Atom("R", (x, y))], [Atom("R", (a, b))])
+        eager = Substitution({x: a, y: b})
+        assert solution == eager
+        assert hash(solution) == hash(eager)
+        assert dict(solution) == {x: a, y: b}
+        assert solution.apply_atom(Atom("S", (x, y))) == Atom("S", (a, b))
+
+    def test_lazy_substitutions_pickle_as_plain_substitutions(self):
+        backend = fresh_backend()
+        (solution,) = backend.iterate([Atom("R", (x, y))], [Atom("R", (a, b))])
+        restored = pickle.loads(pickle.dumps(solution))
+        assert type(restored) is Substitution
+        assert restored == solution
+
+    def test_identity_fixed_bindings_use_the_slow_path(self):
+        # fixed={x: x} pins the slot to the variable's own id, which the
+        # fast guard must reject; the result matches the naive reference.
+        backend = fresh_backend()
+        naive = get_backend("naive")
+        source = [Atom("R", (x, y))]
+        target = [Atom("R", (x, b)), Atom("R", (a, b))]
+        for fixed in ({x: x}, {x: a}, {}):
+            expected = sorted(map(repr, naive.iterate(source, target, fixed)))
+            actual = sorted(map(repr, backend.iterate(source, target, fixed)))
+            assert actual == expected, fixed
+
+    def test_variable_targets_disable_fast_materialisation(self):
+        backend = fresh_backend()
+        # The target mentions x itself, so an identity image is possible
+        # and the plan must not promise fast materialisation.
+        plan = backend.plan([Atom("R", (x, y))], (Atom("R", (x, b)),), None)
+        assert not plan.fast_materialise
+        (solution,) = backend.iterate([Atom("R", (x, y))], [Atom("R", (x, b))])
+        assert x not in solution  # identity binding x -> x is dropped
+        assert solution[y] == b
+
+
+class TestAdaptiveReplanning:
+    def test_divergence_flips_the_suffix_order(self):
+        source, target, expected = _replan_flip_case()
+        backend = fresh_backend()
+        assert backend.count(source, target) == expected
+        checks, replans = backend.replan_events
+        assert checks >= 1
+        assert replans >= 1
+
+    def test_replanning_never_changes_the_answer(self):
+        source, target, expected = _replan_flip_case()
+        replan_on = fresh_backend()
+        replan_off = fresh_backend(replan_interval=10**9)
+        naive = get_backend("naive")
+        assert replan_on.count(source, target) == expected
+        assert replan_off.count(source, target) == expected
+        assert naive.count(source, target) == expected
+        assert replan_on.replan_events[1] >= 1
+        assert replan_off.replan_events == [0, 0]
+        # Enumeration agrees as a multiset, replanning on or off.
+        on = sorted(map(repr, replan_on.iterate(source, target)))
+        off = sorted(map(repr, replan_off.iterate(source, target)))
+        assert on == off
+
+    def test_confirming_statistics_refresh_without_reordering(self):
+        source, target, expected = _replan_confirm_case()
+        backend = fresh_backend()
+        assert backend.count(source, target) == expected
+        checks, replans = backend.replan_events
+        assert checks >= 1
+        assert replans == 0  # live stats confirmed the compile-time order
+
+    def test_threshold_gates_the_divergence_test(self):
+        source, target, expected = _replan_flip_case()
+        tolerant = fresh_backend(replan_threshold=1e9)
+        assert tolerant.count(source, target) == expected
+        assert tolerant.replan_events[1] == 0  # nothing diverges that far
+        assert tolerant.replan_events[0] >= 1
+
+    def test_describe_replanning_reports_the_counters(self):
+        source, target, _ = _replan_flip_case()
+        backend = fresh_backend()
+        backend.count(source, target)
+        description = backend.describe_replanning()
+        assert "replan checks:" in description
+        assert "replans triggered:" in description
+        assert "interval 64 rows" in description
+
+
+class TestParallelRehydration:
+    def test_session_spec_rehydrates_generated_workers(self):
+        from repro.parallel import merged_cache_stats
+        from repro.session import Session
+        from repro.workloads.scale import mixed_requests
+
+        requests = mixed_requests(6, seed=3, verify_certificates=False)
+        serial_outcomes = list(Session(backend="generated").batch(requests))
+        parallel_session = Session(backend="generated")
+        assert parallel_session.spec().backend == "generated"
+        parallel_outcomes = list(
+            parallel_session.batch(requests, jobs=2, chunk_size=2)
+        )
+        # Byte-identical outcome stream: verdicts, certificates, errors,
+        # merged cache statistics.
+        assert [o.verdict for o in parallel_outcomes] == [
+            o.verdict for o in serial_outcomes
+        ]
+        assert [o.certificate for o in parallel_outcomes] == [
+            o.certificate for o in serial_outcomes
+        ]
+        assert [o.error for o in parallel_outcomes] == [o.error for o in serial_outcomes]
+        assert merged_cache_stats(parallel_outcomes) == merged_cache_stats(
+            serial_outcomes
+        )

@@ -2,13 +2,13 @@
 
 Random CQ/instance pairs (and raw atom-set pairs, which also exercise
 variables in the target as containment mappings do) must yield identical
-results from the naive, indexed and interned backends in all three
-execution modes, and a memoising cache must never change an answer.
+results from the naive, indexed, interned and generated backends in all
+three execution modes, and a memoising cache must never change an answer.
 Together the properties in :class:`TestBackendEquivalence` run 300 random
 cases per suite execution; :class:`TestInternedDecisionEquivalence` adds
-another 300 seeded adversarial decisions proving the interned backend is
-verdict-, certificate- and count-identical to the other two across all
-three decision strategies.
+another 300 seeded adversarial decisions proving the interned and
+generated backends are verdict-, certificate- and count-identical to the
+other two across all three decision strategies.
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import EngineCache, IndexedBackend, InternedBackend, get_backend
+from repro.engine import EngineCache, GeneratedBackend, IndexedBackend, InternedBackend, get_backend
 from repro.evaluation.bag_evaluation import evaluate_bag
 from repro.relational.atoms import Atom
 from repro.relational.terms import Constant, Variable
@@ -48,16 +48,15 @@ class TestBackendEquivalence:
     @given(source=atom_sets(3), target=atom_sets(5), fixed=fixed_bindings())
     def test_iterate_agrees_as_multisets(self, source, target, fixed):
         naive = _multiset(get_backend("naive").iterate(source, target, fixed))
-        indexed = _multiset(get_backend("indexed").iterate(source, target, fixed))
-        interned = _multiset(get_backend("interned").iterate(source, target, fixed))
-        assert naive == indexed == interned
+        for name in ("indexed", "interned", "generated"):
+            assert _multiset(get_backend(name).iterate(source, target, fixed)) == naive, name
 
     @settings(max_examples=_EXAMPLES, deadline=None)
     @given(source=atom_sets(3), target=atom_sets(5), fixed=fixed_bindings())
     def test_count_and_exists_agree(self, source, target, fixed):
         naive = get_backend("naive")
         count = naive.count(source, target, fixed)
-        for name in ("indexed", "interned"):
+        for name in ("indexed", "interned", "generated"):
             backend = get_backend(name)
             assert backend.count(source, target, fixed) == count, name
             assert backend.exists(source, target, fixed) == (count > 0), name
@@ -69,10 +68,9 @@ class TestBackendEquivalence:
 
         with use_backend("naive"):
             expected = evaluate_bag(query, bag)
-        with use_backend("indexed"):
-            assert evaluate_bag(query, bag) == expected
-        with use_backend("interned"):
-            assert evaluate_bag(query, bag) == expected
+        for name in ("indexed", "interned", "generated"):
+            with use_backend(name):
+                assert evaluate_bag(query, bag) == expected, name
 
     @settings(max_examples=_EXAMPLES, deadline=None)
     @given(source=atom_sets(3), target=atom_sets(5), fixed=fixed_bindings())
@@ -88,11 +86,12 @@ class TestBackendEquivalence:
         assert warm.exists(source, target, fixed) == expected_exists
         assert warm.cache.result_stats.hits >= 2
         # Same guarantee for the interned backend and its identity memo.
-        warm_interned = InternedBackend(cache=EngineCache())
-        assert warm_interned.count(source, target, fixed) == expected_count
-        assert warm_interned.count(source, target, fixed) == expected_count
-        assert warm_interned.exists(source, target, fixed) == expected_exists
-        assert warm_interned.cache.result_stats.hits >= 1
+        for cls in (InternedBackend, GeneratedBackend):
+            warm_integer = cls(cache=EngineCache())
+            assert warm_integer.count(source, target, fixed) == expected_count
+            assert warm_integer.count(source, target, fixed) == expected_count
+            assert warm_integer.exists(source, target, fixed) == expected_exists
+            assert warm_integer.cache.result_stats.hits >= 1
 
 
 #: (strategy, backend) grid for the interned decision-equivalence sweep;
@@ -102,13 +101,13 @@ _STRATEGY_GRID = ("most-general", "all-probes", "bounded-guess")
 
 
 class TestInternedDecisionEquivalence:
-    """300 adversarial decisions: interned ≡ naive ≡ indexed, all strategies.
+    """300 adversarial decisions: all four backends agree, all strategies.
 
     Adversarial pairs (shared core, one perturbed multiplicity) are the
     regime where the decision procedures have least slack; each seed is
     decided by every backend under one strategy, rotating through the
     grid, and verdicts, certificates and encoding mapping counts must be
-    identical across the three backends.
+    identical across the four backends.
     """
 
     @pytest.mark.parametrize("chunk", range(10))
@@ -127,7 +126,7 @@ class TestInternedDecisionEquivalence:
             )
             results = {}
             skipped = False
-            for backend in ("naive", "indexed", "interned"):
+            for backend in ("naive", "indexed", "interned", "generated"):
                 try:
                     with use_backend(backend):
                         results[backend] = decide_bag_containment(
@@ -142,7 +141,7 @@ class TestInternedDecisionEquivalence:
             verdicts = {name: result.contained for name, result in results.items()}
             assert len(set(verdicts.values())) == 1, f"{context}: {verdicts}"
             reference = results["naive"]
-            for name in ("indexed", "interned"):
+            for name in ("indexed", "interned", "generated"):
                 assert results[name].counterexample == reference.counterexample, (
                     f"{context}: {name} certificate diverges"
                 )
