@@ -18,13 +18,15 @@ posture — since the exact solver learned to fall back to the LP path when
 Fourier–Motzkin exceeds its row cap, every request in this workload
 decides, and the bench asserts the serial stream is **error-free**.
 
-The identity assertions always run.  The speedup assertion
-(``jobs=4 ≥ 2.5×`` serial) only runs on machines with at least 4 CPUs —
-on fewer cores the workers time-slice one another and the measurement is
-meaningless; the run still reports its numbers and writes the JSON record
-(``BENCH_E14.json`` at the repo root, see ``benchmarks/record.py``) that
-CI uploads as an artifact.  ``$BENCH_E14_CASES`` shrinks the workload for
-smoke runs.
+The identity assertions always run.  The speedup assertion and the
+``speedup_jobs4`` metric (``jobs=4 ≥ 2.5×`` serial) only exist on machines
+with at least 4 CPUs — on fewer cores the workers time-slice one another
+and the measurement is meaningless, so the record instead documents what
+``parallel.resolve_jobs('auto')`` resolves to (the serial fallback on one
+core) rather than committing a fake "regression".  The JSON record
+(``BENCH_E14.json`` at the repo root, see ``benchmarks/record.py``) is
+written either way and CI uploads it as an artifact.  ``$BENCH_E14_CASES``
+shrinks the workload for smoke runs.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_e14_parallel.py``)
 for the comparison table, or through pytest with the bench collection
@@ -43,7 +45,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from record import write_record  # noqa: E402
 
 from repro.engine.cache import EngineCache
-from repro.parallel import merged_cache_stats
+from repro.parallel import merged_cache_stats, resolve_jobs
 from repro.session import Session
 from repro.workloads.scale import mixed_requests
 
@@ -115,11 +117,17 @@ def bench_e14_parallel_batch() -> None:
     print(f"{'jobs':>6} {'seconds':>9} {'speedup':>8}")
     print(f"{1:>6} {serial_elapsed:>8.2f}s {'1.0x':>8}")
 
-    job_counts = (2, 4) if cores >= REQUIRED_CORES else (4,)
+    # What a production caller asking for parallelism actually gets: on a
+    # single-core box resolve_jobs('auto') falls back to the serial path.
+    # Timings are only measured (and the speedup metric only recorded) for
+    # job counts real hardware can run side by side — forcing jobs=4 onto
+    # one core used to commit a meaningless 0.52x "regression" to the record.
+    resolved_auto = resolve_jobs("auto")
+    asserted = cores >= REQUIRED_CORES
+    job_counts = (2, 4) if asserted else (2,)
     runs: dict[int, float] = {}
     for jobs in job_counts:
         elapsed, outcomes = _run(requests, jobs=jobs)
-        runs[jobs] = elapsed
         assert _fingerprint(outcomes) == _fingerprint(serial_outcomes), (
             f"jobs={jobs} outcome stream diverged from the serial path"
         )
@@ -127,10 +135,13 @@ def bench_e14_parallel_batch() -> None:
         assert [o.value for o in outcomes] == [o.value for o in serial_outcomes], (
             f"jobs={jobs} result values diverged from the serial path"
         )
-        print(f"{jobs:>6} {elapsed:>8.2f}s {serial_elapsed / elapsed:>7.1f}x")
+        if asserted:
+            runs[jobs] = elapsed
+            print(f"{jobs:>6} {elapsed:>8.2f}s {serial_elapsed / elapsed:>7.1f}x")
+        else:
+            print(f"{jobs:>6} {elapsed:>8.2f}s  (identity only — time-sliced on {cores} CPU)")
 
     speedup = serial_elapsed / runs[4] if runs.get(4) else 0.0
-    asserted = cores >= REQUIRED_CORES
     json_path = write_record(
         "e14",
         {
@@ -142,10 +153,14 @@ def bench_e14_parallel_batch() -> None:
             "parallel_seconds": {str(jobs): round(elapsed, 3) for jobs, elapsed in runs.items()},
             "streams_identical": True,  # asserted above
             "speedup_asserted": asserted,
-            "metrics": {"speedup_jobs4": round(speedup, 2)},
-            # The speedup threshold only means something on real parallel
+            # resolve_jobs('auto') on this box: 1 means the serial fallback —
+            # the behaviour callers get, and what this record then documents.
+            "resolved_jobs_auto": resolved_auto,
+            "serial_fallback": resolved_auto == 1,
+            # The speedup metric only means something on real parallel
             # hardware; on smaller runners the identity assertions are the
-            # record's substance and the threshold is omitted.
+            # record's substance and both metric and threshold are omitted.
+            "metrics": {"speedup_jobs4": round(speedup, 2)} if asserted else {},
             "thresholds": {"speedup_jobs4": REQUIRED_SPEEDUP} if asserted else {},
         },
     )

@@ -1,0 +1,152 @@
+"""E15 — persistent warm starts: the same corpus, cold vs warm.
+
+The persistent tier claims that a restarted process replaying the same
+workload against the same store answers from disk: decision verdicts come
+back from the session-memo rows, compiled plans from the plan rows, and
+the whole second run is bounded by SQLite lookups plus unpickling instead
+of plan compilation and Diophantine solving.  This bench pins the claim:
+
+* a **cold** session (fresh store) decides a 300+ case mixed workload and
+  fills the store;
+* a **warm** session (new :class:`~repro.session.Session`, same store —
+  the in-process stand-in for a process restart, which the kill/restart
+  tests cover with real subprocesses) replays the identical workload;
+* the warm run must be ≥2x faster, its persistent hit rate must exceed
+  0.9, and the two outcome streams must agree **byte for byte** —
+  verdicts, certificates and rendered explanations are compared on their
+  serialized forms, not just by equality.
+
+The JSON record (``BENCH_E15.json`` at the repo root, see
+``benchmarks/record.py``) carries ``warm_speedup`` and
+``persist_hit_rate`` as gated metrics.  ``$BENCH_E15_CASES`` (≥ 1)
+shrinks the workload for smoke runs — the committed record uses the
+default 400.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_e15_persist.py``)
+or through pytest with the bench collection options.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from record import write_record  # noqa: E402
+
+from repro.session import Session
+from repro.workloads.scale import mixed_requests
+
+#: Minimum warm-over-cold speedup on the replayed workload.
+REQUIRED_SPEEDUP = 2.0
+
+#: Minimum persistent hit rate of the warm run.
+REQUIRED_HIT_RATE = 0.9
+
+#: The fixed workload: 400 component-distinct mixed pairs by default
+#: (the acceptance bar asks for ≥300); ``$BENCH_E15_CASES`` shrinks it.
+CASES = int(os.environ.get("BENCH_E15_CASES", "400"))
+
+
+def _workload():
+    return mixed_requests(
+        CASES,
+        seed=7,
+        distinct=True,
+        verify_certificates=False,
+        acyclic_atoms=6,
+        acyclic_variables=6,
+    )
+
+
+def _run(store: Path, requests) -> tuple[float, list, Session]:
+    session = Session(persist_path=store, name="e15")
+    started = time.perf_counter()
+    outcomes = list(session.batch(requests, capture_errors=True))
+    elapsed = time.perf_counter() - started
+    return elapsed, outcomes, session
+
+
+def _serialized(outcomes) -> bytes:
+    """The outcome stream's replay-visible face, as comparable bytes.
+
+    Verdicts, certificates and the human-rendered explanations — pickled in
+    stream order, so "byte-identical" means exactly that.
+    """
+    face = []
+    for outcome in outcomes:
+        explained = None
+        if outcome.value is not None and hasattr(outcome.value, "explain"):
+            explained = outcome.value.explain()
+        face.append((outcome.verdict, repr(outcome.certificate), explained, outcome.error))
+    return pickle.dumps(face, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def bench_e15_persist_warm_start() -> None:
+    print(f"E15 — persistent warm starts on {CASES} distinct mixed pairs")
+    requests = _workload()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "e15-store.db"
+
+        cold_elapsed, cold_outcomes, cold_session = _run(store, requests)
+        cold_stats = cold_session.persistent.stats
+        print(f"cold: {cold_elapsed:.2f}s  (persist: {cold_stats.describe()})")
+        assert cold_stats.errors == 0, f"cold run hit store errors: {cold_stats.describe()}"
+        cold_session.close()
+
+        warm_elapsed, warm_outcomes, warm_session = _run(store, requests)
+        warm_stats = warm_session.persistent.stats
+        print(f"warm: {warm_elapsed:.2f}s  (persist: {warm_stats.describe()})")
+        warm_session.close()
+
+        assert _serialized(warm_outcomes) == _serialized(cold_outcomes), (
+            "warm replay diverged from the cold run"
+        )
+        errors = sum(1 for outcome in cold_outcomes if outcome.error is not None)
+        speedup = cold_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf")
+        hit_rate = warm_stats.hit_rate
+        print(f"speedup: {speedup:.1f}x, warm persistent hit rate: {hit_rate:.0%}")
+
+        json_path = write_record(
+            "e15",
+            {
+                "source": "bench_e15_persist",
+                "cases": CASES,
+                "errors": errors,
+                "cold_seconds": round(cold_elapsed, 3),
+                "warm_seconds": round(warm_elapsed, 3),
+                "byte_identical": True,  # asserted above
+                "cold_persist": cold_stats.describe(),
+                "warm_persist": warm_stats.describe(),
+                "store_bytes": store.stat().st_size,
+                "metrics": {
+                    "warm_speedup": round(speedup, 2),
+                    "persist_hit_rate": round(hit_rate, 3),
+                },
+                "thresholds": {
+                    "warm_speedup": REQUIRED_SPEEDUP,
+                    "persist_hit_rate": REQUIRED_HIT_RATE,
+                },
+            },
+        )
+        print(f"json record written to {json_path}")
+
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"warm replay must be ≥{REQUIRED_SPEEDUP}x faster than cold, "
+            f"measured {speedup:.2f}x"
+        )
+        assert hit_rate > REQUIRED_HIT_RATE, (
+            f"warm persistent hit rate must exceed {REQUIRED_HIT_RATE:.0%}, "
+            f"measured {hit_rate:.0%}"
+        )
+        assert warm_stats.errors == 0, f"warm run hit store errors: {warm_stats.describe()}"
+
+
+if __name__ == "__main__":
+    bench_e15_persist_warm_start()

@@ -129,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --batch (1 = inline; 'auto' = one per core; "
         "results stay in request order)",
     )
+    decide.add_argument(
+        "--persist",
+        metavar="PATH",
+        default=None,
+        help="back the session cache with a disk store at PATH (plans and "
+        "verdicts warm across runs; workers share the store)",
+    )
 
     set_decide = subparsers.add_parser("set-decide", help="decide set containment q1 ⊑s q2")
     set_decide.add_argument("containee", help="the containee query q1")
@@ -195,6 +202,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--replay", metavar="PATH", default=None, help="replay a saved corpus instead of fuzzing"
     )
+    fuzz.add_argument(
+        "--persist",
+        metavar="PATH",
+        default=None,
+        help="back the session cache with a disk store at PATH "
+        "(campaign and replay decisions warm across runs)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or maintain a persistent cache store"
+    )
+    cache.add_argument(
+        "action", choices=("info", "vacuum", "clear"), help="maintenance action"
+    )
+    cache.add_argument("path", help="the store file (as passed to --persist)")
 
     profile = subparsers.add_parser(
         "profile", help="profile a named scale workload under cProfile"
@@ -270,6 +292,8 @@ def _run_decide_batch(args: argparse.Namespace, session: Session) -> int:
     from repro.session import ContainmentRequest
     from repro.verify.corpus import load_corpus
 
+    from repro.parallel import resolve_jobs
+
     entries = load_corpus(args.batch)
     requests = [
         ContainmentRequest(
@@ -280,9 +304,14 @@ def _run_decide_batch(args: argparse.Namespace, session: Session) -> int:
         )
         for entry in entries
     ]
+    # Resolve up front (rather than letting session.batch do it) so the
+    # summary line reports what actually ran: on a single-core box
+    # --jobs auto falls back to the serial path, and the committed record
+    # should say jobs=1, not echo the flag.
+    jobs = resolve_jobs(args.jobs)
     errors = 0
     contained = 0
-    outcomes = session.batch(requests, capture_errors=True, jobs=args.jobs)
+    outcomes = session.batch(requests, capture_errors=True, jobs=jobs)
     for entry, outcome in zip(entries, outcomes):
         if outcome.error is not None:
             errors += 1
@@ -295,7 +324,7 @@ def _run_decide_batch(args: argparse.Namespace, session: Session) -> int:
     print(
         f"batch {args.batch}: {len(requests)} pairs, {contained} contained, "
         f"{len(requests) - contained - errors} not contained, {errors} errors "
-        f"[jobs={args.jobs}]"
+        f"[jobs={jobs}]"
     )
     return 0 if errors == 0 else 1
 
@@ -370,6 +399,38 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
     return 0 if report.ok else 1
 
 
+def _run_cache(args: argparse.Namespace, session: Session) -> int:
+    """Maintain a persistent store (``cache info|vacuum|clear PATH``)."""
+    import os
+
+    from repro.engine.persist import PersistentCache
+
+    if args.action != "info" and not os.path.exists(args.path):
+        raise CliError(f"no persistent store at {args.path}")
+    store = PersistentCache(args.path)
+    try:
+        if args.action == "info":
+            info = store.info()
+            print(f"store:   {info['path']} ({info['status']})")
+            print(f"size:    {info['file_bytes']} bytes")
+            print(f"entries: {info['entries']}")
+            for layer, count in sorted(info["layers"].items()):
+                print(f"  {layer:<8} {count}")
+            print(f"schemas:  {', '.join(str(s) for s in info['schemas']) or '-'}")
+            print(f"backends: {', '.join(info['backends']) or '-'}")
+            return 0 if info["status"] == "ok" else 1
+        if args.action == "vacuum":
+            ok = store.vacuum()
+            print(f"store {args.path}: {'vacuumed' if ok else 'vacuum FAILED'}")
+            return 0 if ok else 1
+        dropped = store.clear()
+        store.vacuum()
+        print(f"store {args.path}: {dropped} entries cleared")
+        return 0
+    finally:
+        store.close()
+
+
 def _profile_requests(args: argparse.Namespace) -> list[ContainmentRequest]:
     from repro.workloads import scale
 
@@ -433,10 +494,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "encode": _run_encode,
         "compare": _run_compare,
         "fuzz": _run_fuzz,
+        "cache": _run_cache,
         "profile": _run_profile,
     }
     backend_name = getattr(args, "backend", None) or args.engine_backend
-    session = Session(backend=backend_name, name="cli")
+    session = Session(
+        backend=backend_name, name="cli", persist_path=getattr(args, "persist", None)
+    )
     try:
         with session.activate():
             return handlers[args.command](args, session)
@@ -444,6 +508,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     finally:
+        if session.persistent is not None:
+            # Stats go to stderr so stdout stays byte-comparable between
+            # cold and warm runs (the CI smoke job diffs it).
+            print(f"persist  {session.persistent.stats.describe()}", file=sys.stderr)
+        session.close()
         if args.engine_stats:
             print("engine cache statistics (session cache, this command only):")
             if backend_name == "naive":

@@ -76,7 +76,13 @@ from repro.engine.executor import (
     execute_exists,
     execute_iterate,
 )
-from repro.engine.fingerprints import atoms_fingerprint, instance_fingerprint, query_fingerprint
+from repro.engine.fingerprints import (
+    UnpersistableKeyError,
+    atoms_fingerprint,
+    instance_fingerprint,
+    persistent_digest,
+    query_fingerprint,
+)
 from repro.engine.generated import (
     GeneratedPlan,
     generated_count,
@@ -91,6 +97,7 @@ from repro.engine.interned import (
     interned_iterate,
 )
 from repro.engine.interning import InternedTarget, TermDictionary
+from repro.engine.persist import MISS, PersistentCache, PersistStats, SCHEMA_VERSION
 from repro.engine.plan import (
     JoinTemplate,
     MatchPlan,
@@ -116,11 +123,16 @@ __all__ = [
     "InternedPlan",
     "InternedTarget",
     "JoinTemplate",
+    "MISS",
     "MatchPlan",
     "NaiveBackend",
+    "PersistStats",
+    "PersistentCache",
     "PlanStep",
+    "SCHEMA_VERSION",
     "TargetIndex",
     "TermDictionary",
+    "UnpersistableKeyError",
     "atoms_fingerprint",
     "backend_names",
     "compile_interned_plan",

@@ -19,6 +19,12 @@ the same body.  :class:`EngineCache` memoises three layers:
 All three layers keep LRU order and expose hit/miss/eviction statistics;
 :meth:`EngineCache.invalidate` drops entries touching a given target (or
 everything), which is the hook instance-mutating callers use.
+
+A cache can additionally be backed by a persistent tier
+(:meth:`EngineCache.attach_persistent`): an in-memory miss then falls
+through to the disk store before building, and freshly built eligible
+entries are written back — see :mod:`repro.engine.persist` for the key
+discipline and the corruption-tolerance guarantees.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping
 
 from repro.engine.fingerprints import atoms_fingerprint
+from repro.engine.persist import MISS, PersistentCache
 from repro.engine.plan import JoinTemplate, MatchPlan, TargetIndex, compile_plan
 from repro.relational.atoms import Atom
 from repro.relational.terms import Variable
@@ -97,14 +104,23 @@ def describe_snapshot(snapshot: Mapping[str, tuple[int, int, int]]) -> str:
 
 
 class _LruLayer:
-    """One bounded LRU mapping with its own statistics."""
+    """One bounded LRU mapping with its own statistics.
 
-    __slots__ = ("name", "max_entries", "stats", "_entries")
+    When a :class:`~repro.engine.persist.PersistentCache` is attached, an
+    in-memory miss consults the disk store before building (a persistent
+    hit still counts as an in-memory miss — the layer statistics keep
+    measuring this process's working set), and a freshly built entry is
+    written through.  Eligibility and failure tolerance live entirely in
+    the persistent tier; the layer never sees an exception from it.
+    """
+
+    __slots__ = ("name", "max_entries", "stats", "persistent", "_entries")
 
     def __init__(self, name: str, max_entries: int) -> None:
         self.name = name
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self.persistent: PersistentCache | None = None
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
 
     def get_or_build(self, key: Hashable, build: Callable[[], object]) -> object:
@@ -114,11 +130,21 @@ class _LruLayer:
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
+        if self.persistent is not None:
+            loaded = self.persistent.load(self.name, key)
+            if loaded is not MISS:
+                self._entries[key] = loaded
+                if len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                return loaded
         entry = build()
         self._entries[key] = entry
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+        if self.persistent is not None:
+            self.persistent.store(self.name, key, entry)
         return entry
 
     def drop(self, predicate: Callable[[Hashable], bool]) -> int:
@@ -137,10 +163,36 @@ class _LruLayer:
 class EngineCache:
     """Memoisation for compiled plans, target indexes and scalar results."""
 
+    #: Bound on remembered absorb tokens (see :meth:`absorb_delta`): far
+    #: beyond any real campaign's chunk count, small enough to never matter.
+    _MAX_ABSORB_TOKENS = 65536
+
     def __init__(self, max_plans: int = 512, max_indexes: int = 128, max_results: int = 4096) -> None:
         self._indexes = _LruLayer("indexes", max_indexes)
         self._plans = _LruLayer("plans", max_plans)
         self._results = _LruLayer("results", max_results)
+        self._persistent: PersistentCache | None = None
+        self._absorbed_tokens: OrderedDict[Hashable, None] = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # The persistent tier
+    # ------------------------------------------------------------------ #
+    def attach_persistent(self, persistent: PersistentCache | None) -> None:
+        """Back (or stop backing) this cache with a persistent tier.
+
+        Only the plan and result layers consult the store — target indexes
+        are cheap per-process rebuilds, and the persistent tier itself
+        refuses entries keyed by process-local state (interned dictionary
+        serials, compiled closures).  Passing ``None`` detaches.
+        """
+        self._persistent = persistent
+        self._plans.persistent = persistent
+        self._results.persistent = persistent
+
+    @property
+    def persistent(self) -> PersistentCache | None:
+        """The attached persistent tier, if any."""
+        return self._persistent
 
     @property
     def capacities(self) -> tuple[int, int, int]:
@@ -223,16 +275,25 @@ class EngineCache:
         if target_atoms is None:
             dropped = len(self._indexes) + len(self._plans) + len(self._results)
             self.clear()
+            if self._persistent is not None:
+                dropped += self._persistent.clear()
             return dropped
         target_key = atoms_fingerprint(target_atoms)
         dropped = self._indexes.drop(
             lambda key: key == target_key
             or (isinstance(key, tuple) and len(key) > 0 and key[0] == target_key)
         )
-        dropped += self._plans.drop(lambda key: key[1] == target_key)  # type: ignore[index]
+        # Classic plan keys and interned/generated plan_entry keys both put
+        # the target fingerprint second; the isinstance/length guard keeps
+        # exotic plan_entry keys from crashing the sweep (they simply stay).
+        dropped += self._plans.drop(
+            lambda key: isinstance(key, tuple) and len(key) > 1 and key[1] == target_key
+        )
         dropped += self._results.drop(
             lambda key: isinstance(key, tuple) and len(key) > 1 and key[1] == target_key
         )
+        if self._persistent is not None:
+            dropped += self._persistent.invalidate_target(target_key)
         return dropped
 
     def clear(self) -> None:
@@ -246,7 +307,9 @@ class EngineCache:
         for layer in (self._indexes, self._plans, self._results):
             layer.stats = CacheStats()
 
-    def absorb_delta(self, delta: Mapping[str, tuple[int, int, int]]) -> None:
+    def absorb_delta(
+        self, delta: Mapping[str, tuple[int, int, int]], token: Hashable | None = None
+    ) -> bool:
         """Fold another cache's ``(hits, misses, evictions)`` delta into the stats.
 
         This is the merge hook of the parallel batch layer: worker processes
@@ -254,7 +317,19 @@ class EngineCache:
         and the parent folds them in so the session's cache statistics reflect
         the whole fleet's work.  Only the counters move — entries stay where
         they were built (worker caches die with the workers).
+
+        Absorption is idempotent per *token*: a chunk retried after a worker
+        failure (or a delta accidentally replayed by a caller) is folded in
+        once — repeats return ``False`` without touching the counters.  A
+        ``None`` token skips the bookkeeping (legacy unconditional fold).
+        Returns whether the delta was absorbed.
         """
+        if token is not None:
+            if token in self._absorbed_tokens:
+                return False
+            self._absorbed_tokens[token] = None
+            if len(self._absorbed_tokens) > self._MAX_ABSORB_TOKENS:
+                self._absorbed_tokens.popitem(last=False)
         by_name = {layer.name: layer for layer in (self._plans, self._indexes, self._results)}
         for name, (hits, misses, evictions) in delta.items():
             layer = by_name.get(name)
@@ -263,6 +338,7 @@ class EngineCache:
             layer.stats.hits += hits
             layer.stats.misses += misses
             layer.stats.evictions += evictions
+        return True
 
     @property
     def plan_stats(self) -> CacheStats:
@@ -298,4 +374,6 @@ class EngineCache:
                 hits, misses, evictions = hits - base[0], misses - base[1], evictions - base[2]
             window = CacheStats(hits=hits, misses=misses, evictions=evictions)
             lines.append(f"{layer.name:<8} {len(layer)} entries, {window.describe()}")
+        if self._persistent is not None:
+            lines.append(self._persistent.describe())
         return "\n".join(lines)

@@ -1,0 +1,467 @@
+"""The persistent cache tier: compiled plans and memos that survive restarts.
+
+PR 1/5 made compiled plans worth 7-112x, but every process rebuilt them from
+scratch: a service restart, a parallel worker, or the next CI corpus replay
+always started cold.  :class:`PersistentCache` is a disk-backed tier (stdlib
+``sqlite3`` in WAL mode) that an :class:`~repro.engine.cache.EngineCache`
+consults *behind* its in-memory LRU layers: an in-memory miss falls through
+to the store, and a freshly built entry is written back — so plans,
+``count``/``exists`` result memos and whole session decision verdicts warm
+across processes, workers and runs.
+
+**Key discipline.**  Rows are keyed by the four-part fingerprint the ISSUE
+and ROADMAP demand — ``(structural key digest, backend name, limits
+fingerprint, schema version)``:
+
+* the structural digest is :func:`~repro.engine.fingerprints.persistent_digest`
+  over the very same key structure the in-memory layer uses, canonically
+  serialized (sorted containers, named fields, no ``hash()``), so it is
+  identical in every process regardless of ``PYTHONHASHSEED``;
+* the backend name and the limits fingerprint come from the owning
+  session's configuration (a different backend or a different enumeration
+  budget must never serve the other's rows);
+* :data:`SCHEMA_VERSION` stamps the pickled-value layout.  **Bump it
+  whenever the pickled shape of any persisted value changes** (plan layout,
+  decision-result fields, certificate representation): old rows then
+  silently miss instead of unpickling into the wrong shape.
+
+Any component mismatch is a miss — never a wrong answer.
+
+**What persists.**  Only entries whose keys canonically serialize *and*
+whose values are process-independent: classic :class:`MatchPlan` objects
+(the ``(source, target, fixed)`` frozenset-keyed plan layer), backend-tagged
+``count``/``exists`` scalar memos, and session decision memos.  Entries
+keyed by process-local state — interned/generated plans carry a term
+dictionary serial, target indexes are cheap per-process rebuilds — are
+skipped, not persisted unsoundly.
+
+**Corruption tolerance.**  Every read path — connect, query, unpickle — is
+wrapped: a torn write, a truncated file, a garbage blob or a concurrent
+writer's lock degrades to a *counted* miss (``stats.errors``) and execution
+falls through to a fresh computation.  The store can be deleted at any
+moment; nothing above it can tell except by speed.
+
+**Concurrency.**  WAL mode plus short ``BEGIN IMMEDIATE`` write
+transactions let parallel workers share one store: readers never block on
+the writer, writers queue behind a busy timeout, and a worker that loses
+the race simply recomputes.  One connection per :class:`PersistentCache`,
+guarded by a lock, so a session can be driven from multiple threads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable
+
+from repro.engine.fingerprints import UnpersistableKeyError, persistent_digest
+
+__all__ = ["MISS", "PersistStats", "PersistentCache", "SCHEMA_VERSION"]
+
+
+class _Miss:
+    """The sentinel a failed/ineligible persistent lookup returns.
+
+    A dedicated type (rather than ``None``) because ``None`` is a perfectly
+    valid cached value.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISS"
+
+
+MISS = _Miss()
+
+#: The pickled-value layout version.  Bump on ANY change to the pickled
+#: shape of persisted values (MatchPlan layout, decision-result fields,
+#: certificate representation); old rows then miss instead of loading the
+#: wrong shape.  The rule is documented in README "Warm starts".
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class PersistStats:
+    """Counters for the persistent tier (separate from the LRU layers').
+
+    ``errors`` counts every corruption-tolerant degradation: failed
+    connects, locked/failed transactions, torn blobs, unpickle failures.
+    ``skipped`` counts store attempts for entries that cannot soundly
+    persist (unpicklable values).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+    skipped: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%}), "
+            f"{self.stores} stored, {self.errors} errors, "
+            f"{self.skipped} skipped, {self.invalidated} invalidated"
+        )
+
+
+_CREATE_TABLE = """
+CREATE TABLE IF NOT EXISTS entries (
+    layer   TEXT    NOT NULL,
+    key     TEXT    NOT NULL,
+    backend TEXT    NOT NULL,
+    limits  TEXT    NOT NULL,
+    schema  INTEGER NOT NULL,
+    target  TEXT    NOT NULL DEFAULT '',
+    value   BLOB    NOT NULL,
+    created REAL    NOT NULL,
+    PRIMARY KEY (layer, key, backend, limits, schema)
+)
+"""
+
+_CREATE_TARGET_INDEX = "CREATE INDEX IF NOT EXISTS entries_target ON entries(target)"
+
+
+class PersistentCache:
+    """A disk-backed cache tier layered behind an :class:`EngineCache`.
+
+    Parameters
+    ----------
+    path:
+        The SQLite store file (created, with parent directories, on first
+        use).  Many processes may share one path.
+    backend:
+        The owning session's backend name — part of every row key.
+    limits_fingerprint:
+        The owning session's limits digest — part of every row key.  Use
+        :func:`~repro.engine.fingerprints.persistent_digest` on the
+        session's :class:`~repro.session.Limits`.
+    schema_version:
+        Overridable for tests; defaults to :data:`SCHEMA_VERSION`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        backend: str = "indexed",
+        limits_fingerprint: str = "",
+        schema_version: int = SCHEMA_VERSION,
+    ) -> None:
+        self.path = Path(path)
+        self.backend = backend
+        self.limits_fingerprint = limits_fingerprint
+        self.schema_version = int(schema_version)
+        self.stats = PersistStats()
+        self._lock = threading.Lock()
+        self._connection: sqlite3.Connection | None = None
+        self._dead = False
+        self._open()
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+    def _open(self) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            connection = sqlite3.connect(
+                str(self.path),
+                timeout=5.0,
+                isolation_level=None,  # autocommit; writes use explicit BEGIN IMMEDIATE
+                check_same_thread=False,  # the instance lock serializes access
+            )
+            # WAL lets readers proceed during a writer's transaction; NORMAL
+            # sync is crash-safe for WAL (a torn tail rolls back to the last
+            # commit, which the read path tolerates anyway).
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(_CREATE_TABLE)
+            connection.execute(_CREATE_TARGET_INDEX)
+            self._connection = connection
+        except (sqlite3.Error, OSError):
+            # A pre-corrupted or unwritable store: degrade to a pure
+            # pass-through (every eligible lookup is a counted miss).
+            self.stats.errors += 1
+            self._connection = None
+            self._dead = True
+
+    def close(self) -> None:
+        """Close the underlying connection (further ops degrade to misses)."""
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except sqlite3.Error:  # pragma: no cover - defensive
+                    pass
+                self._connection = None
+            self._dead = True
+
+    def __enter__(self) -> "PersistentCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Eligibility: which in-memory entries may live on disk
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _analyze(layer: str, key: Hashable) -> tuple[Hashable | None, Hashable | None]:
+        """``(persistable key, target fingerprint component)`` or ``(None, None)``.
+
+        The shapes recognised here are the documented key layouts of
+        :class:`~repro.engine.cache.EngineCache`:
+
+        * ``plans``: the classic ``(source_fp, target_fp, fixed_variables)``
+          triple of frozensets (a picklable :class:`MatchPlan`).  Interned
+          and generated plan entries carry a process-local term-dictionary
+          serial and compiled closures — never persisted.
+        * ``results``: backend-tagged ``count``/``exists`` scalar memos
+          (``key[0] == "count-exists"``, target fingerprint at ``key[1]``)
+          and session decision memos (``key[0] == "session"``, no target).
+        * ``indexes``: never persisted — target indexes are cheap
+          per-process rebuilds keyed partly by process-local serials.
+        """
+        if layer == "plans":
+            if (
+                isinstance(key, tuple)
+                and len(key) == 3
+                and all(isinstance(part, frozenset) for part in key)
+            ):
+                return key, key[1]
+            return None, None
+        if layer == "results":
+            if isinstance(key, tuple) and len(key) >= 2 and key[0] == "count-exists":
+                return key, key[1]
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "session":
+                return key, None
+            return None, None
+        return None, None
+
+    def _digest(self, key: Hashable) -> str | None:
+        try:
+            return persistent_digest(key)
+        except UnpersistableKeyError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # The EngineCache adapter protocol: load / store
+    # ------------------------------------------------------------------ #
+    def load(self, layer: str, key: Hashable) -> Any:
+        """The stored value for ``(layer, key)``, or :data:`MISS`.
+
+        Ineligible keys return :data:`MISS` without counting a lookup (the
+        hit rate measures eligible traffic only); any storage-level failure
+        counts an error and degrades to a miss.
+        """
+        persistable, _ = self._analyze(layer, key)
+        if persistable is None:
+            return MISS
+        digest = self._digest(persistable)
+        if digest is None:
+            return MISS
+        if self._dead or self._connection is None:
+            self.stats.misses += 1
+            return MISS
+        try:
+            with self._lock:
+                row = self._connection.execute(
+                    "SELECT value FROM entries "
+                    "WHERE layer = ? AND key = ? AND backend = ? AND limits = ? AND schema = ?",
+                    (layer, digest, self.backend, self.limits_fingerprint, self.schema_version),
+                ).fetchone()
+        except sqlite3.Error:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return MISS
+        if row is None:
+            self.stats.misses += 1
+            return MISS
+        try:
+            value = pickle.loads(row[0])
+        except Exception:  # noqa: BLE001 - any torn/garbage blob is a miss
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    def store(self, layer: str, key: Hashable, value: Any) -> bool:
+        """Write one freshly built entry through to disk (best effort).
+
+        Returns ``True`` when a row was written.  Ineligible keys are
+        ignored silently; an unpicklable value counts as ``skipped``; any
+        storage failure (lock contention, disk trouble) counts an error —
+        the in-memory entry stays authoritative either way.
+        """
+        persistable, target_component = self._analyze(layer, key)
+        if persistable is None:
+            return False
+        digest = self._digest(persistable)
+        if digest is None:
+            return False
+        if self._dead or self._connection is None:
+            return False
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable values stay in memory
+            self.stats.skipped += 1
+            return False
+        target_digest = ""
+        if target_component is not None:
+            target = self._digest(target_component)
+            if target is None:  # pragma: no cover - key digested, component must too
+                return False
+            target_digest = target
+        try:
+            with self._lock:
+                self._connection.execute("BEGIN IMMEDIATE")
+                try:
+                    self._connection.execute(
+                        "INSERT OR REPLACE INTO entries "
+                        "(layer, key, backend, limits, schema, target, value, created) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            layer,
+                            digest,
+                            self.backend,
+                            self.limits_fingerprint,
+                            self.schema_version,
+                            target_digest,
+                            blob,
+                            time.time(),
+                        ),
+                    )
+                    self._connection.execute("COMMIT")
+                except BaseException:
+                    self._connection.execute("ROLLBACK")
+                    raise
+        except sqlite3.Error:
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Invalidation and maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate_target(self, target_fingerprint: Hashable) -> int:
+        """Drop every row whose target column matches *target_fingerprint*.
+
+        *target_fingerprint* is the in-memory fingerprint component (the
+        frozenset of target atoms); it is digested here with the same
+        function the store path used, so the two always agree.  This is
+        what :meth:`EngineCache.invalidate` calls — an instance mutation
+        invalidates the disk rows along with the memory entries.
+        """
+        digest = self._digest(target_fingerprint)
+        if digest is None or self._dead or self._connection is None:
+            return 0
+        try:
+            with self._lock:
+                self._connection.execute("BEGIN IMMEDIATE")
+                try:
+                    cursor = self._connection.execute(
+                        "DELETE FROM entries WHERE target = ?", (digest,)
+                    )
+                    self._connection.execute("COMMIT")
+                except BaseException:
+                    self._connection.execute("ROLLBACK")
+                    raise
+        except sqlite3.Error:
+            self.stats.errors += 1
+            return 0
+        dropped = cursor.rowcount if cursor.rowcount is not None and cursor.rowcount > 0 else 0
+        self.stats.invalidated += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Drop every row in the store; returns the number dropped."""
+        if self._dead or self._connection is None:
+            return 0
+        try:
+            with self._lock:
+                self._connection.execute("BEGIN IMMEDIATE")
+                try:
+                    cursor = self._connection.execute("DELETE FROM entries")
+                    self._connection.execute("COMMIT")
+                except BaseException:
+                    self._connection.execute("ROLLBACK")
+                    raise
+        except sqlite3.Error:
+            self.stats.errors += 1
+            return 0
+        dropped = cursor.rowcount if cursor.rowcount is not None and cursor.rowcount > 0 else 0
+        self.stats.invalidated += dropped
+        return dropped
+
+    def vacuum(self) -> bool:
+        """Checkpoint the WAL and compact the store file."""
+        if self._dead or self._connection is None:
+            return False
+        try:
+            with self._lock:
+                self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                self._connection.execute("VACUUM")
+        except sqlite3.Error:
+            self.stats.errors += 1
+            return False
+        return True
+
+    def info(self) -> dict[str, Any]:
+        """A maintenance snapshot: per-layer row counts, size, versions."""
+        info: dict[str, Any] = {
+            "path": str(self.path),
+            "schema_version": self.schema_version,
+            "backend": self.backend,
+            "entries": 0,
+            "layers": {},
+            "schemas": [],
+            "backends": [],
+            "file_bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "stats": self.stats.describe(),
+        }
+        if self._dead or self._connection is None:
+            info["status"] = "unavailable"
+            return info
+        try:
+            with self._lock:
+                layers = self._connection.execute(
+                    "SELECT layer, COUNT(*) FROM entries GROUP BY layer ORDER BY layer"
+                ).fetchall()
+                schemas = self._connection.execute(
+                    "SELECT DISTINCT schema FROM entries ORDER BY schema"
+                ).fetchall()
+                backends = self._connection.execute(
+                    "SELECT DISTINCT backend FROM entries ORDER BY backend"
+                ).fetchall()
+        except sqlite3.Error:
+            self.stats.errors += 1
+            info["status"] = "error"
+            return info
+        info["layers"] = {layer: count for layer, count in layers}
+        info["entries"] = sum(count for _, count in layers)
+        info["schemas"] = [schema for (schema,) in schemas]
+        info["backends"] = [name for (name,) in backends]
+        info["status"] = "ok"
+        return info
+
+    def describe(self) -> str:
+        """One stats line, matching the cache layers' format."""
+        return f"{'persist':<8} {self.stats.describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PersistentCache({str(self.path)!r}, backend={self.backend!r})"

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import itertools
 import multiprocessing
 import os
 import time
@@ -72,6 +73,10 @@ __all__ = [
 
 _T = TypeVar("_T")
 
+
+#: Distinguishes absorb-delta tokens across parallel_batch calls (an ``id()``
+#: would do until the allocator recycled it onto a later batch).
+_BATCH_COUNTER = itertools.count(1)
 
 _AUTO_SERIAL_WARNED = False
 
@@ -295,6 +300,7 @@ def parallel_batch(
         # Not worth a pool; keep semantics by delegating to the serial path.
         yield from session.batch(requests, capture_errors=capture_errors)
         return
+    batch_id = next(_BATCH_COUNTER)
     size = chunk_size if chunk_size is not None else default_chunk_size(len(requests), jobs)
     payloads = [
         (start, chunk, capture_errors) for start, chunk in shard(requests, size)
@@ -309,7 +315,9 @@ def parallel_batch(
     )
     try:
         for chunk in results:
-            session.cache.absorb_delta(chunk.cache_delta)
+            # Token per chunk start: a delta replayed for the same shard
+            # (e.g. a chunk retried after a worker failure) folds in once.
+            session.cache.absorb_delta(chunk.cache_delta, token=("batch", batch_id, chunk.start))
             for offset, outcome in enumerate(chunk.outcomes):
                 original = requests[chunk.start + offset]
                 yield dataclasses.replace(outcome, request=original)

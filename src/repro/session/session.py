@@ -37,10 +37,12 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.engine.backends import Backend, backend_names, create_backend
 from repro.engine.cache import EngineCache, snapshot_delta
+from repro.engine.persist import PersistentCache
 from repro.engine import backends as _backends
 from repro.exceptions import SessionError
 from repro.queries.cq import ConjunctiveQuery
@@ -114,6 +116,11 @@ class SessionSpec:
     #: cache is sized identically, so eviction behaviour (and therefore the
     #: cache-statistics stream) matches the parent's configuration.
     cache_capacities: tuple[int, int, int] = (512, 128, 4096)
+    #: The parent session's persistent store path, if any: workers attach
+    #: to the *same* store (SQLite WAL + short write transactions make the
+    #: sharing safe), so plans and memos built anywhere in the fleet warm
+    #: every process — and the next run.
+    persist_path: str | None = None
 
     def build(self) -> "Session":
         """Rehydrate an equivalent session (same configuration, fresh cache)."""
@@ -126,6 +133,7 @@ class SessionSpec:
             limits=self.limits,
             memoize=self.memoize,
             name=self.name,
+            persist_path=self.persist_path,
         )
 
 
@@ -161,6 +169,12 @@ class Session:
         result layer (default on): repeated identical requests — the common
         shape of production traffic — are answered without re-running the
         pipeline, and show up as ``results`` hits in outcome cache deltas.
+    persist_path:
+        Back the session cache with a disk store at this path
+        (:class:`~repro.engine.persist.PersistentCache`): compiled plans,
+        count/exists memos and decision verdicts warm across restarts, and
+        parallel workers built from :meth:`spec` share the same store.  A
+        missing/corrupt store silently degrades to cold behaviour.
     """
 
     def __init__(
@@ -170,6 +184,7 @@ class Session:
         limits: Limits | None = None,
         name: str | None = None,
         memoize: bool = True,
+        persist_path: "str | Path | None" = None,
     ) -> None:
         self.name = name if name is not None else f"session-{next(_SESSION_COUNTER)}"
         self.cache = cache if cache is not None else EngineCache()
@@ -181,6 +196,29 @@ class Session:
                 f"unknown engine backend {backend!r}; expected one of {backend_names()}"
             )
         self.backend_name = backend
+        self.persist_path = str(persist_path) if persist_path is not None else None
+        if self.persist_path is not None:
+            from repro.engine.fingerprints import persistent_digest
+
+            self.cache.attach_persistent(
+                PersistentCache(
+                    self.persist_path,
+                    backend=self.backend_name,
+                    limits_fingerprint=persistent_digest(self.limits),
+                )
+            )
+
+    @property
+    def persistent(self) -> "PersistentCache | None":
+        """The persistent cache tier backing this session, if any."""
+        return self.cache.persistent
+
+    def close(self) -> None:
+        """Detach and close the persistent tier (the session stays usable, cold)."""
+        persistent = self.cache.persistent
+        if persistent is not None:
+            self.cache.attach_persistent(None)
+            persistent.close()
 
     # ------------------------------------------------------------------ #
     # Backend ownership and context activation
@@ -559,6 +597,7 @@ class Session:
             memoize=self.memoize,
             name=name if name is not None else f"{self.name}-worker",
             cache_capacities=self.cache.capacities,
+            persist_path=self.persist_path,
         )
 
     def batch(

@@ -298,18 +298,43 @@ def run_case(case: FuzzCase, config: CampaignConfig) -> CaseResult:
     )
 
 
+def _persist_counts() -> tuple[int, int, int] | None:
+    """The active session's persistent-tier ``(hits, misses, stores)``, if any."""
+    from repro.session.session import current_session
+
+    session = current_session()
+    persistent = session.persistent if session is not None else None
+    if persistent is None:
+        return None
+    return (persistent.stats.hits, persistent.stats.misses, persistent.stats.stores)
+
+
 def _run_chunk(payload: tuple[CampaignConfig, tuple[int, ...]]) -> tuple[
     list[CaseResult], dict[str, tuple[int, int, int]]
 ]:
-    """Pool worker: run a chunk of case indices, report the cache delta."""
+    """Pool worker: run a chunk of case indices, report the cache delta.
+
+    When the driving session has a persistent tier, its ``(hits, misses,
+    stores)`` delta rides along in the snapshot under the ``persist``
+    pseudo-layer, so the campaign report can aggregate warm-start traffic
+    fleet-wide just like the in-memory layers.
+    """
     if _WORKER_INIT_ERROR is not None:
         raise VerifyError(
             f"campaign worker failed to rehydrate its session: {_WORKER_INIT_ERROR}"
         )
     config, indices = payload
+    persist_before = _persist_counts()
     before = default_cache().snapshot()
     results = [run_case(generate_case(config, index), config) for index in indices]
-    return results, snapshot_delta(default_cache().snapshot(), before)
+    snapshot = snapshot_delta(default_cache().snapshot(), before)
+    persist_after = _persist_counts()
+    if persist_before is not None and persist_after is not None:
+        snapshot = dict(snapshot)
+        snapshot["persist"] = tuple(
+            after - prior for after, prior in zip(persist_after, persist_before)
+        )
+    return results, snapshot
 
 
 #: Keeps the worker's rehydrated session activated for the process lifetime,
@@ -388,8 +413,17 @@ class CampaignReport:
         refuted = sum(1 for result in self.case_results if result.consensus is False)
         lines.append(f"verdicts: {contained} contained, {refuted} not contained")
         if self.engine_stats:
+            stats = dict(self.engine_stats)
+            persist = stats.pop("persist", None)
             lines.append("engine cache (aggregated across workers):")
-            lines.extend("  " + line for line in describe_snapshot(self.engine_stats).splitlines())
+            lines.extend("  " + line for line in describe_snapshot(stats).splitlines())
+            if persist is not None:
+                hits, misses, stores = persist
+                lookups = hits + misses
+                rate = hits / lookups if lookups else 0.0
+                lines.append(
+                    f"  persist  {hits} hits / {misses} misses ({rate:.0%}), {stores} stored"
+                )
         if self.failures:
             lines.append(f"{len(self.failures)} DISCREPANCIES:")
             for failure in self.failures:

@@ -84,6 +84,47 @@ class TestMemoisedResultsSurviveUnrelatedInvalidation:
         assert backend.cache.plan_stats.hits == hits_before + 1
 
 
+class TestInvalidationCoversEveryLayer:
+    """No stale verdict survives an instance mutation — in *any* layer.
+
+    The interned backend stores its entries through the generic
+    ``index_entry``/``plan_entry`` hooks and tags its result memos with the
+    backend name; a targeted invalidation must sweep those exactly like the
+    classic entries, and propagate to an attached persistent store
+    (covered in ``test_persist.py``).
+    """
+
+    def test_interned_backend_entries_are_swept(self):
+        from repro.engine.backends import InternedBackend
+
+        cache = EngineCache()
+        backend = InternedBackend(cache=cache)
+        source = (Atom("R", (x, y)),)
+        target = (Atom("R", (a, b)), Atom("R", (b, c)))
+        unrelated = (Atom("R", (c, c)),)
+        assert backend.count(source, target) == 2
+        backend.count(source, unrelated)
+
+        dropped = cache.invalidate(target)
+        # The target's interned index entry, plan entry and result memo.
+        assert dropped >= 3
+
+        # The invalidated target recomputes (miss), the unrelated one hits.
+        misses_before = cache.result_stats.misses
+        assert backend.count(source, target) == 2
+        assert cache.result_stats.misses == misses_before + 1
+        hits_before = cache.result_stats.hits
+        backend.count(source, unrelated)
+        assert cache.result_stats.hits == hits_before + 1
+
+    def test_exotic_plan_entry_keys_do_not_crash_the_sweep(self):
+        # Regression: the plans-layer predicate indexed key[1] blindly.
+        cache = EngineCache()
+        cache.plan_entry("not-a-tuple", lambda: "entry")
+        cache.plan_entry((42,), lambda: "entry")
+        assert cache.invalidate((Atom("R", (a, b)),)) == 0
+
+
 class TestStatsCountersUnderBatchApis:
     def test_count_many_reuses_one_plan(self):
         backend = fresh_backend()
