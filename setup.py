@@ -4,8 +4,16 @@ The canonical build configuration lives in ``pyproject.toml``; this file
 exists so that environments without the ``wheel`` package (where PEP 660
 editable installs are unavailable) can still run
 ``pip install -e . --no-build-isolation --no-use-pep517``.
+
+The ``package_data`` entry ships the PEP 561 ``py.typed`` marker, so
+installed copies expose the library's inline annotations to type checkers
+(see ``mypy.ini`` for the in-repo checking policy).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+)

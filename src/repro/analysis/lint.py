@@ -1,0 +1,199 @@
+"""A small AST lint framework with repro-specific rules.
+
+The rules (:mod:`repro.analysis.rules`) target the hazards that matter to
+*this* codebase: nondeterministic iteration inside the fingerprint and
+serialisation paths (which would silently break ``persistent_digest`` warm
+starts and bit-identical parallel replay), mutable defaults, process-global
+mutable state outside the sanctioned registries, internal calls into the
+deprecation shims, and bare ``except`` clauses.
+
+The framework is deliberately tiny: a rule is a named check over one
+parsed module, findings are ``path:line`` records, and suppressions are
+explicit and *justified* —
+
+.. code-block:: python
+
+    _CACHE: dict[str, int] = {}  # lint: disable=global-mutable-state -- cleared per session in reset()
+
+A suppression without the ``-- justification`` tail is itself reported (as
+a ``bad-suppression`` finding), so silencing a rule always leaves a
+reviewable reason in the source.  Run it as ``repro lint [--check]
+[--rule NAME] [PATHS]``; with no paths it lints the installed ``repro``
+package tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "LintContext",
+    "LintFinding",
+    "LintRule",
+    "default_paths",
+    "default_rules",
+    "iter_source_files",
+    "lint_paths",
+    "lint_source",
+]
+
+#: ``# lint: disable=rule-a,rule-b -- why this is fine``
+_SUPPRESSION = re.compile(
+    r"#\s*lint:\s*disable=(?P<rules>[A-Za-z0-9_,-]+)(?P<tail>.*)$"
+)
+_JUSTIFICATION = re.compile(r"^\s*--\s*\S")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One reported problem: a rule name anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule check sees: one parsed module plus its source."""
+
+    path: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+
+#: A rule check yields ``(line, message)`` pairs over one module.
+Check = Callable[[LintContext], Iterable[tuple[int, str]]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A named, documented check; ``scope`` restricts it to matching paths."""
+
+    name: str
+    summary: str
+    check: Check
+    scope: tuple[str, ...] = ()
+
+    def applies(self, path: str) -> bool:
+        posix = path.replace("\\", "/")
+        return not self.scope or any(pattern in posix for pattern in self.scope)
+
+
+def default_rules() -> tuple[LintRule, ...]:
+    """The built-in rule set (imported lazily to keep this module generic)."""
+    from repro.analysis.rules import RULES
+
+    return RULES
+
+
+def default_paths() -> list[Path]:
+    """With no explicit paths, lint the installed ``repro`` package tree."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def _parse_suppressions(
+    lines: Sequence[str], path: str
+) -> tuple[dict[int, frozenset[str]], list[LintFinding]]:
+    """Line → suppressed rule names, plus findings for unjustified ones."""
+    suppressed: dict[int, frozenset[str]] = {}
+    meta: list[LintFinding] = []
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        names = frozenset(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        if not _JUSTIFICATION.match(match.group("tail")):
+            meta.append(
+                LintFinding(
+                    "bad-suppression",
+                    path,
+                    number,
+                    "suppression lacks a justification; write "
+                    "'# lint: disable=RULE -- why this is fine'",
+                )
+            )
+            continue
+        suppressed[number] = suppressed.get(number, frozenset()) | names
+    return suppressed, meta
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[LintRule] | None = None
+) -> list[LintFinding]:
+    """Lint one module's source text; returns findings sorted by position.
+
+    Unparseable source yields a single ``syntax-error`` finding rather than
+    raising — the linter must be able to sweep a tree containing a broken
+    file and still report on the rest.
+    """
+    if rules is None:
+        rules = default_rules()
+    lines = tuple(source.splitlines())
+    suppressed, findings = _parse_suppressions(lines, path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        findings.append(
+            LintFinding("syntax-error", path, error.lineno or 1, f"does not parse: {error.msg}")
+        )
+        return findings
+    context = LintContext(path=path, tree=tree, lines=lines)
+    for rule in rules:
+        if not rule.applies(path):
+            continue
+        for line, message in rule.check(context):
+            if rule.name in suppressed.get(line, frozenset()):
+                continue
+            findings.append(LintFinding(rule.name, path, line, message))
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    return findings
+
+
+def iter_source_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(part.startswith(".") for part in candidate.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path] | None = None, rules: Sequence[LintRule] | None = None
+) -> list[LintFinding]:
+    """Lint files/directories (default: the ``repro`` package tree)."""
+    if rules is None:
+        rules = default_rules()
+    targets = iter_source_files(paths if paths else default_paths())
+    findings: list[LintFinding] = []
+    for target in targets:
+        findings.extend(
+            lint_source(target.read_text(encoding="utf-8"), _display_path(target), rules)
+        )
+    return findings

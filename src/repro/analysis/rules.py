@@ -1,0 +1,256 @@
+"""The repro-specific lint rules.
+
+Each rule is a syntactic check over one parsed module, registered in
+:data:`RULES` (an immutable tuple — the lint framework itself carries no
+process state).  The rule catalogue in ``docs/lint-rules.md`` documents
+every rule's rationale and suppression guidance; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import LintContext, LintRule
+
+__all__ = ["RULES"]
+
+#: Node types whose evaluation yields a freshly allocated mutable object.
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+#: Constructor names that likewise produce mutable containers.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        target = node.func
+        if isinstance(target, ast.Name):
+            return target.id in _MUTABLE_CALLS
+        if isinstance(target, ast.Attribute):
+            return target.attr in _MUTABLE_CALLS
+    return False
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+# --------------------------------------------------------------------------- #
+# set-order-iteration
+# --------------------------------------------------------------------------- #
+def _builds_set(node: ast.expr) -> bool:
+    """Does this expression syntactically construct a set (unordered)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _check_set_order_iteration(context: LintContext) -> Iterator[tuple[int, str]]:
+    message = (
+        "iterating a set here is hash-order-dependent; wrap it in sorted() "
+        "so fingerprints and serialised artefacts stay bit-identical"
+    )
+    for node in ast.walk(context.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _builds_set(node.iter):
+            yield node.iter.lineno, message
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _builds_set(generator.iter):
+                    yield generator.iter.lineno, message
+
+
+# --------------------------------------------------------------------------- #
+# mutable-default
+# --------------------------------------------------------------------------- #
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr if isinstance(target, ast.Attribute) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _check_mutable_default(context: LintContext) -> Iterator[tuple[int, str]]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_value(default):
+                    yield (
+                        default.lineno,
+                        f"mutable default argument in {node.name}(); defaults are "
+                        "evaluated once and shared across calls — use None and "
+                        "allocate inside the body",
+                    )
+        elif isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+            for statement in node.body:
+                value = (
+                    statement.value
+                    if isinstance(statement, (ast.Assign, ast.AnnAssign))
+                    else None
+                )
+                if value is not None and _is_mutable_value(value):
+                    yield (
+                        statement.lineno,
+                        "mutable dataclass field default is shared across instances; "
+                        "use field(default_factory=...)",
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# global-mutable-state
+# --------------------------------------------------------------------------- #
+
+#: Modules allowed to hold module-level mutable containers: the sanctioned
+#: registries (backend factories and the decision-strategy registry).
+_REGISTRY_FILES = ("engine/backends.py", "core/decision.py")
+
+
+def _check_global_mutable_state(context: LintContext) -> Iterator[tuple[int, str]]:
+    posix = context.path.replace("\\", "/")
+    if any(posix.endswith(registry) for registry in _REGISTRY_FILES):
+        return
+    for statement in context.tree.body:
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        else:
+            continue
+        names = [target.id for target in targets if isinstance(target, ast.Name)]
+        if not names or all(_is_dunder(name) for name in names):
+            continue
+        if _is_mutable_value(value):
+            yield (
+                statement.lineno,
+                f"module-level mutable state {', '.join(names)}; process-global "
+                "mutability belongs in the sanctioned registries — justify with "
+                "a suppression if this one is deliberate",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# internal-shim-call
+# --------------------------------------------------------------------------- #
+
+#: The shim module itself may touch its own machinery.
+_SHIM_EXEMPT = ("session/shims.py",)
+
+
+def _shim_names() -> frozenset[str]:
+    from repro.session.shims import DEPRECATED_SHIMS
+
+    return frozenset(DEPRECATED_SHIMS)
+
+
+def _check_internal_shim_call(context: LintContext) -> Iterator[tuple[int, str]]:
+    posix = context.path.replace("\\", "/")
+    if any(posix.endswith(exempt) for exempt in _SHIM_EXEMPT):
+        return
+    shims = _shim_names()
+
+    # Aliases under which the shim namespace (top-level ``repro`` or the
+    # shims module) is reachable, and shim functions imported by name.
+    module_aliases: set[str] = set()
+    direct_names: set[str] = set()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("repro", "repro.session.shims"):
+                    module_aliases.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("repro", "repro.session.shims"):
+                for alias in node.names:
+                    if alias.name in shims:
+                        direct_names.add(alias.asname or alias.name)
+            elif node.module == "repro.session" :
+                for alias in node.names:
+                    if alias.name == "shims":
+                        module_aliases.add(alias.asname or "shims")
+
+    if not module_aliases and not direct_names:
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        name = None
+        if isinstance(target, ast.Name) and target.id in direct_names:
+            name = target.id
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in module_aliases
+            and target.attr in shims
+        ):
+            name = target.attr
+        if name is not None:
+            yield (
+                node.lineno,
+                f"internal call into deprecation shim {name}(); library code "
+                "must use sessions or the underlying submodules directly",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# bare-except
+# --------------------------------------------------------------------------- #
+def _check_bare_except(context: LintContext) -> Iterator[tuple[int, str]]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield (
+                node.lineno,
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt and hides "
+                "engine failures; catch a specific exception type",
+            )
+
+
+RULES: tuple[LintRule, ...] = (
+    LintRule(
+        name="set-order-iteration",
+        summary="no hash-order set iteration in fingerprint/serialisation paths",
+        check=_check_set_order_iteration,
+        scope=("engine/fingerprints.py", "engine/persist.py", "io/json_codec.py"),
+    ),
+    LintRule(
+        name="mutable-default",
+        summary="no mutable default arguments or dataclass field defaults",
+        check=_check_mutable_default,
+    ),
+    LintRule(
+        name="global-mutable-state",
+        summary="no process-global mutable containers outside the registries",
+        check=_check_global_mutable_state,
+    ),
+    LintRule(
+        name="internal-shim-call",
+        summary="library code must not call its own deprecation shims",
+        check=_check_internal_shim_call,
+    ),
+    LintRule(
+        name="bare-except",
+        summary="no bare except clauses",
+        check=_check_bare_except,
+    ),
+)

@@ -31,7 +31,16 @@ Sub-commands
     strategy, engine backend and Diophantine path; disagreements are
     shrunk to minimal reproducers.  ``--save-corpus`` persists the
     campaign for deterministic replay, ``--replay`` re-checks a corpus,
-    ``--backends``/``--strategies`` restrict the differential axes.
+    ``--backends``/``--strategies`` restrict the differential axes, and
+    ``--verify-plans`` soundness-verifies every compiled plan and
+    generated function online (``repro.analysis``).
+
+``lint``
+    Run the repro-specific AST lint rules (``repro.analysis.lint``) over
+    source trees: determinism hazards in the fingerprint/serialisation
+    paths, mutable defaults, unsanctioned global state, internal shim
+    calls, bare excepts.  ``--check`` is the quiet CI mode; suppressions
+    require a justification.
 
 ``profile``
     Run a named workload from :mod:`repro.workloads.scale` under
@@ -208,6 +217,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="back the session cache with a disk store at PATH "
         "(campaign and replay decisions warm across runs)",
+    )
+    fuzz.add_argument(
+        "--verify-plans",
+        action="store_true",
+        help="soundness-verify every compiled plan and AST-verify every "
+        "generated function during the campaign (repro.analysis)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repro-specific AST lint rules over source trees"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: print nothing on success, exit 1 on any finding",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the available rules and exit"
     )
 
     cache = subparsers.add_parser(
@@ -390,6 +430,7 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
         mutation_rate=args.mutation_rate,
         shrink_failures=not args.no_shrink,
         time_budget=args.time_budget,
+        debug_verify_plans=args.verify_plans,
     )
     report = session.fuzz(config=config).value
     print(report.describe())
@@ -397,6 +438,37 @@ def _run_fuzz(args: argparse.Namespace, session: Session) -> int:
         path = save_corpus(campaign_corpus(report), args.save_corpus)
         print(f"corpus saved to {path} ({report.cases_run} entries)")
     return 0 if report.ok else 1
+
+
+def _run_lint(args: argparse.Namespace, session: Session) -> int:
+    """Run the AST lint rules (``lint [--check] [--rule NAME] [PATHS]``)."""
+    from pathlib import Path
+
+    from repro.analysis.lint import default_rules, lint_paths
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = f" [{', '.join(rule.scope)}]" if rule.scope else ""
+            print(f"{rule.name:<24} {rule.summary}{scope}")
+        return 0
+    if args.rule:
+        wanted = set(args.rule)
+        known = {rule.name for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise CliError(
+                f"unknown lint rule(s) {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+        rules = tuple(rule for rule in rules if rule.name in wanted)
+    paths = [Path(path) for path in args.paths] if args.paths else None
+    findings = lint_paths(paths, rules)
+    for finding in findings:
+        print(finding.describe())
+    if not findings and not args.check:
+        print("no lint findings")
+    return 1 if findings else 0
 
 
 def _run_cache(args: argparse.Namespace, session: Session) -> int:
@@ -494,6 +566,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "encode": _run_encode,
         "compare": _run_compare,
         "fuzz": _run_fuzz,
+        "lint": _run_lint,
         "cache": _run_cache,
         "profile": _run_profile,
     }

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, Iterable, Iterator, Mapping
 
+from repro.analysis import hooks as _verify_hooks
 from repro.engine.cache import EngineCache
 from repro.engine.executor import (
     ExecutionStats,
@@ -244,7 +245,11 @@ class IndexedBackend(Backend):
     ) -> MatchPlan:
         """The (memoised) compiled plan for a ``(source, target, fixed)`` triple."""
         fixed_variables = frozenset(fixed or ())
-        return self.cache.plan(tuple(source_atoms), target_atoms, fixed_variables, template=template)
+        source = tuple(source_atoms)
+        plan = self.cache.plan(source, target_atoms, fixed_variables, template=template)
+        if _verify_hooks.verification_enabled():
+            _verify_hooks.check_plan(plan, source_atoms=source, fixed_variables=fixed_variables)
+        return plan
 
     # ------------------------------------------------------------------ #
     # Backend interface
@@ -357,6 +362,13 @@ class InternedBackend(Backend):
         memo = self._plan_memo
         entry = memo.get(ident)
         if entry is not None and entry[0] is source_atoms and entry[1] is target_atoms:
+            if _verify_hooks.verification_enabled():
+                _verify_hooks.check_plan(
+                    entry[2],
+                    source_atoms=tuple(entry[0]),
+                    fixed_variables=fixed_variables,
+                    dictionary=self.dictionary,
+                )
             return entry[2]
 
         source = tuple(source_atoms)
@@ -376,6 +388,13 @@ class InternedBackend(Backend):
         if len(memo) >= self._PLAN_MEMO_LIMIT:
             memo.clear()
         memo[ident] = (source_atoms, target_atoms, plan)  # type: ignore[arg-type]
+        if _verify_hooks.verification_enabled():
+            _verify_hooks.check_plan(
+                plan,
+                source_atoms=source,
+                fixed_variables=fixed_variables,
+                dictionary=self.dictionary,
+            )
         return plan  # type: ignore[return-value]
 
     def _compile_plan(

@@ -63,14 +63,26 @@ class TermDictionary:
     this dictionary, and ``serial`` — unique for the process lifetime —
     tags shared-cache entries so artefacts can never be rehydrated against
     a different dictionary's id space.
+
+    Ids are bounded by ``id_bits`` (:data:`ID_BITS` unless overridden): the
+    packed-key arithmetic of :meth:`InternedTarget.group_index` and the
+    plan executors shifts each id into its own :data:`ID_BITS` window, so
+    an id at or beyond ``2**id_bits`` would make packed keys non-injective
+    and silently conflate distinct candidate groups.  Rather than collide,
+    :meth:`intern` raises :class:`~repro.exceptions.TermIdOverflowError`
+    at the computed bound.
     """
 
-    __slots__ = ("_ids", "_terms", "serial")
+    __slots__ = ("_ids", "_terms", "serial", "id_bits", "capacity")
 
-    def __init__(self) -> None:
+    def __init__(self, id_bits: int = ID_BITS) -> None:
+        if id_bits < 1:
+            raise ValueError("a term dictionary needs at least one id bit")
         self._ids: dict[Term, int] = {}
         self._terms: list[Term] = []
         self.serial = next(_SERIALS)
+        self.id_bits = id_bits
+        self.capacity = 1 << id_bits
 
     def intern(self, term: Term) -> int:
         """The id of *term*, assigning the next dense id on first sight."""
@@ -78,9 +90,17 @@ class TermDictionary:
         interned = ids.get(term)
         if interned is None:
             interned = len(self._terms)
+            if interned >= self.capacity:
+                from repro.exceptions import TermIdOverflowError
+
+                raise TermIdOverflowError(term, self.id_bits, self.capacity)
             ids[term] = interned
             self._terms.append(term)
         return interned
+
+    def lookup(self, term: Term) -> int | None:
+        """The id of *term* if already interned, else ``None`` (no mutation)."""
+        return self._ids.get(term)
 
     def intern_many(self, terms: Iterable[Term]) -> tuple[int, ...]:
         """Intern a tuple of terms (one atom's argument list, typically)."""

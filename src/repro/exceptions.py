@@ -106,5 +106,42 @@ class ParallelError(SessionError):
     always be re-raised as-is in the parent."""
 
 
+class TermIdOverflowError(ReproError):
+    """A :class:`~repro.engine.interning.TermDictionary` ran out of id space.
+
+    Packed signature keys shift each term id into its own fixed-width
+    window, so ids at or beyond ``2**id_bits`` would silently collide with
+    other ids inside one packed key.  The dictionary refuses to assign such
+    an id instead; the attributes carry the computed bound.
+    """
+
+    def __init__(self, term: object, id_bits: int, capacity: int) -> None:
+        super().__init__(
+            f"term dictionary exhausted its {id_bits}-bit id space "
+            f"({capacity} ids) interning {term!r}; packed signature keys "
+            "would no longer be injective past this bound"
+        )
+        self.term = term
+        self.id_bits = id_bits
+        self.capacity = capacity
+
+
+class AnalysisError(ReproError):
+    """Errors raised by the static-analysis subsystem (:mod:`repro.analysis`)."""
+
+
+class PlanVerificationError(AnalysisError):
+    """A compiled plan or generated function failed soundness verification.
+
+    ``violations`` carries the individual
+    :class:`~repro.analysis.soundness.Violation` records the verifier
+    established; the message summarises them.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class CliError(ReproError):
     """Errors raised by the command line interface."""

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.analysis import hooks as _verify_hooks
 from repro.engine.backends import Backend, backend_names, create_backend
 from repro.engine.cache import EngineCache, snapshot_delta
 from repro.engine.persist import PersistentCache
@@ -121,6 +122,9 @@ class SessionSpec:
     #: sharing safe), so plans and memos built anywhere in the fleet warm
     #: every process — and the next run.
     persist_path: str | None = None
+    #: Whether the source session verified plans/generated code online —
+    #: workers inherit the same debugging posture.
+    debug_verify_plans: bool = False
 
     def build(self) -> "Session":
         """Rehydrate an equivalent session (same configuration, fresh cache)."""
@@ -134,6 +138,7 @@ class SessionSpec:
             memoize=self.memoize,
             name=self.name,
             persist_path=self.persist_path,
+            debug_verify_plans=self.debug_verify_plans,
         )
 
 
@@ -185,11 +190,16 @@ class Session:
         name: str | None = None,
         memoize: bool = True,
         persist_path: "str | Path | None" = None,
+        debug_verify_plans: bool = False,
     ) -> None:
         self.name = name if name is not None else f"session-{next(_SESSION_COUNTER)}"
         self.cache = cache if cache is not None else EngineCache()
         self.limits = limits if limits is not None else Limits()
         self.memoize = memoize
+        #: When true, every plan compiled or retrieved while this session is
+        #: active is soundness-verified, and every generated function is
+        #: AST-verified at compile time (see :mod:`repro.analysis`).
+        self.debug_verify_plans = debug_verify_plans
         self._backends: dict[str, Backend] = {}
         if backend not in backend_names():
             raise SessionError(
@@ -255,9 +265,14 @@ class Session:
         session_token = _CURRENT_SESSION.set(self)
         provider_token = _backends._ACTIVE_PROVIDER.set(self.backend_instance)
         backend_token = _backends._ACTIVE_BACKEND.set(self.backend_instance())
+        verify_token = (
+            _verify_hooks.set_enabled(True) if self.debug_verify_plans else None
+        )
         try:
             yield self
         finally:
+            if verify_token is not None:
+                _verify_hooks.reset(verify_token)
             _backends._ACTIVE_BACKEND.reset(backend_token)
             _backends._ACTIVE_PROVIDER.reset(provider_token)
             _CURRENT_SESSION.reset(session_token)
@@ -548,6 +563,7 @@ class Session:
         if config is None:
             if "time_budget" not in overrides and self.limits.fuzz_time_budget is not None:
                 overrides["time_budget"] = self.limits.fuzz_time_budget
+            overrides.setdefault("debug_verify_plans", self.debug_verify_plans)
             config = CampaignConfig(cases=cases, seed=seed, **overrides)
         elif overrides:
             raise SessionError("pass either a prepared CampaignConfig or overrides, not both")
@@ -598,6 +614,7 @@ class Session:
             name=name if name is not None else f"{self.name}-worker",
             cache_capacities=self.cache.capacities,
             persist_path=self.persist_path,
+            debug_verify_plans=self.debug_verify_plans,
         )
 
     def batch(

@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 #: ``(shim name, calling module, line)`` triples that have already warned.
-_WARNED: set[tuple[str, str, int]] = set()
+_WARNED: set[tuple[str, str, int]] = set()  # lint: disable=global-mutable-state -- once-per-call-site warning dedup, reset via reset_shim_warnings()
 
 
 def reset_shim_warnings() -> None:
@@ -170,7 +170,7 @@ use_backend = _plain_shim(
 )
 
 #: Shim name → replacement hint, for docs and the README migration table.
-DEPRECATED_SHIMS: dict[str, str] = {
+DEPRECATED_SHIMS: dict[str, str] = {  # lint: disable=global-mutable-state -- constant-after-import lookup table consumed by docs and the shim-call lint rule
     name: getattr(globals()[name], "__deprecated_replacement__")
     for name in __all__
     if name not in ("DEPRECATED_SHIMS", "reset_shim_warnings")

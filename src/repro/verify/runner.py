@@ -35,6 +35,7 @@ import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro.analysis import hooks as _verify_hooks
 from repro.core.decision import STRATEGIES
 from repro.engine import (
     BACKEND_NAMES,
@@ -91,6 +92,10 @@ class CampaignConfig:
     chunk_size: int = 25
     num_atoms: int = 3
     head_size: int = 2
+    #: Verify every compiled plan and generated function online during the
+    #: campaign (see :mod:`repro.analysis`); the per-chunk verification
+    #: counts ride the snapshot under the ``verify`` pseudo-layer.
+    debug_verify_plans: bool = False
 
     def __post_init__(self) -> None:
         if self.cases < 0:
@@ -325,14 +330,27 @@ def _run_chunk(payload: tuple[CampaignConfig, tuple[int, ...]]) -> tuple[
         )
     config, indices = payload
     persist_before = _persist_counts()
+    verify_before = (
+        _verify_hooks.verification_counts() if config.debug_verify_plans else None
+    )
     before = default_cache().snapshot()
-    results = [run_case(generate_case(config, index), config) for index in indices]
+    if config.debug_verify_plans:
+        with _verify_hooks.debug_verify_plans():
+            results = [run_case(generate_case(config, index), config) for index in indices]
+    else:
+        results = [run_case(generate_case(config, index), config) for index in indices]
     snapshot = snapshot_delta(default_cache().snapshot(), before)
     persist_after = _persist_counts()
     if persist_before is not None and persist_after is not None:
         snapshot = dict(snapshot)
         snapshot["persist"] = tuple(
             after - prior for after, prior in zip(persist_after, persist_before)
+        )
+    if verify_before is not None:
+        snapshot = dict(snapshot)
+        snapshot["verify"] = tuple(
+            after - prior
+            for after, prior in zip(_verify_hooks.verification_counts(), verify_before)
         )
     return results, snapshot
 
@@ -415,6 +433,7 @@ class CampaignReport:
         if self.engine_stats:
             stats = dict(self.engine_stats)
             persist = stats.pop("persist", None)
+            verify = stats.pop("verify", None)
             lines.append("engine cache (aggregated across workers):")
             lines.extend("  " + line for line in describe_snapshot(stats).splitlines())
             if persist is not None:
@@ -423,6 +442,12 @@ class CampaignReport:
                 rate = hits / lookups if lookups else 0.0
                 lines.append(
                     f"  persist  {hits} hits / {misses} misses ({rate:.0%}), {stores} stored"
+                )
+            if verify is not None:
+                plans, functions, violations = verify
+                lines.append(
+                    f"  verify   {plans} plans / {functions} generated functions "
+                    f"checked, {violations} violations"
                 )
         if self.failures:
             lines.append(f"{len(self.failures)} DISCREPANCIES:")

@@ -29,6 +29,43 @@ class TestTermDictionary:
     def test_serials_are_unique(self):
         assert TermDictionary().serial != TermDictionary().serial
 
+    def test_id_space_overflow_raises_at_the_boundary(self):
+        from repro.exceptions import TermIdOverflowError
+
+        dictionary = TermDictionary(id_bits=3)
+        assert dictionary.capacity == 8
+        terms = [Constant(f"c{i}") for i in range(9)]
+        for term in terms[:8]:  # ids 0..7 fill the 3-bit window exactly
+            dictionary.intern(term)
+        assert len(dictionary) == 8
+        with pytest.raises(TermIdOverflowError) as excinfo:
+            dictionary.intern(terms[8])
+        error = excinfo.value
+        assert error.id_bits == 3
+        assert error.capacity == 8
+        assert error.term == terms[8]
+        assert isinstance(error, ReproError)
+        # The failed intern must not have grown or corrupted the dictionary.
+        assert len(dictionary) == 8
+        assert dictionary.lookup(terms[8]) is None
+        assert dictionary.intern(terms[0]) == 0  # existing ids still resolve
+
+    def test_default_dictionary_bound_matches_pack_window(self):
+        dictionary = TermDictionary()
+        assert dictionary.id_bits == ID_BITS
+        assert dictionary.capacity == 1 << ID_BITS
+
+    def test_rejects_nonpositive_id_bits(self):
+        with pytest.raises(ValueError):
+            TermDictionary(id_bits=0)
+
+    def test_lookup_never_interns(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup(x) is None
+        assert len(dictionary) == 0
+        dictionary.intern(x)
+        assert dictionary.lookup(x) == 0
+
     def test_pack_ids_is_positional(self):
         assert pack_ids([7]) == 7
         assert pack_ids([1, 2]) == (1 << ID_BITS) | 2

@@ -340,3 +340,35 @@ class TestProfile:
     def test_unknown_workload_is_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "fibonacci"])
+
+
+class TestLint:
+    def test_repo_tree_is_clean_in_check_mode(self, capsys):
+        code = main(["lint", "--check", "src/repro"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+
+    def test_findings_are_printed_and_exit_one(self, capsys, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text("CACHE = {}\n")
+        code = main(["lint", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[global-mutable-state]" in captured.out
+
+    def test_rule_filter_and_listing(self, capsys, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text("CACHE = {}\ndef f(a=[]):\n    pass\n")
+        assert main(["lint", "--rule", "bare-except", str(bad)]) == 0
+        capsys.readouterr()
+        code = main(["lint", "--list-rules"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "set-order-iteration" in captured.out
+
+    def test_unknown_rule_is_a_clean_error(self, capsys):
+        code = main(["lint", "--rule", "no-such-rule", "src/repro"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
