@@ -1,0 +1,108 @@
+"""A generic forward may-dataflow framework over :mod:`repro.analysis.cfg`.
+
+The framework is deliberately small and concrete: an abstract *state* maps
+variable names to finite label sets (``frozenset[str]``), the join is the
+pointwise union, and an analysis plugs in three operations —
+
+``initial_state(cfg)``
+    The state on entry to the function (typically the parameters, bound to
+    empty label sets).
+
+``transfer(statement, state, block)``
+    Mutate *state* in place with the effect of one statement (or one
+    compound-statement header marker — see :mod:`repro.analysis.cfg`).
+    Transfer functions must be monotone in the label sets: growing an input
+    set may only grow the output sets.  Under that contract the fixpoint
+    below terminates, because names and labels are both finite.
+
+``observe(statement, state, block)``
+    Called *after* the fixpoint, once per statement, with the stable state
+    holding immediately **before** the statement executes; yields findings
+    (any values — the clients yield ``(line, message)`` pairs).
+
+Because labels are finite and the join only adds labels, the standard
+worklist iteration converges; after it does, a second sweep replays every
+block from its stable in-state and lets the analysis report on what it
+sees.  That split is what makes the clients flow-sensitive: a sanitizer
+(``sorted(...)``) between the source and the sink strips labels from the
+state *before* the sink's ``observe`` runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Protocol, TypeVar
+
+from repro.analysis.cfg import Block, ControlFlowGraph, StatementNode
+
+__all__ = ["Analysis", "State", "join", "run_analysis"]
+
+#: Abstract state: variable name → finite set of labels.  The framework
+#: never interprets names, so analyses are free to add pseudo-variables
+#: (the taint analysis keys loop-order facts as ``@loop<block>``).
+State = dict[str, frozenset[str]]
+
+_FindingT = TypeVar("_FindingT", covariant=True)
+
+
+class Analysis(Protocol[_FindingT]):
+    """The three hooks a concrete forward analysis provides."""
+
+    def initial_state(self, cfg: ControlFlowGraph) -> State: ...
+
+    def transfer(self, statement: StatementNode, state: State, block: Block) -> None: ...
+
+    def observe(
+        self, statement: StatementNode, state: State, block: Block
+    ) -> Iterable[_FindingT]: ...
+
+
+def join(states: Iterable[State]) -> State:
+    """The pointwise union of several abstract states."""
+    merged: State = {}
+    for state in states:
+        for name, labels in state.items():
+            existing = merged.get(name)
+            merged[name] = labels if existing is None else existing | labels
+    return merged
+
+
+def _transfer_block(analysis: Analysis[_FindingT], block: Block, state: State) -> State:
+    out = dict(state)
+    for statement in block.statements:
+        analysis.transfer(statement, out, block)
+    return out
+
+
+def run_analysis(cfg: ControlFlowGraph, analysis: Analysis[_FindingT]) -> Iterator[_FindingT]:
+    """Fixpoint the analysis over *cfg*, then yield every observation.
+
+    The worklist seeds with the entry block; unreachable blocks keep the
+    bottom state (no names bound), which is sound for a may-analysis.
+    """
+    in_states: dict[int, State] = {block.index: {} for block in cfg.blocks}
+    out_states: dict[int, State] = {block.index: {} for block in cfg.blocks}
+    in_states[cfg.entry] = analysis.initial_state(cfg)
+    predecessors = cfg.predecessors()
+
+    worklist: deque[int] = deque(block.index for block in cfg.blocks)
+    pending = set(worklist)
+    while worklist:
+        index = worklist.popleft()
+        pending.discard(index)
+        block = cfg.blocks[index]
+        if index != cfg.entry and predecessors[index]:
+            in_states[index] = join(out_states[pred] for pred in predecessors[index])
+        new_out = _transfer_block(analysis, block, in_states[index])
+        if new_out != out_states[index]:
+            out_states[index] = new_out
+            for successor in block.successors:
+                if successor not in pending:
+                    pending.add(successor)
+                    worklist.append(successor)
+
+    for block in cfg.blocks:
+        state = dict(in_states[block.index])
+        for statement in block.statements:
+            yield from analysis.observe(statement, state, block)
+            analysis.transfer(statement, state, block)

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -34,10 +35,12 @@ __all__ = [
     "LintContext",
     "LintFinding",
     "LintRule",
+    "LintStats",
     "default_paths",
     "default_rules",
     "iter_source_files",
     "lint_paths",
+    "lint_paths_timed",
     "lint_source",
 ]
 
@@ -63,11 +66,38 @@ class LintFinding:
 
 @dataclass(frozen=True)
 class LintContext:
-    """Everything a rule check sees: one parsed module plus its source."""
+    """Everything a rule check sees: one parsed module plus its source.
+
+    The module is parsed exactly once per file and this context is shared
+    across every rule and dataflow analyzer that runs on it.  Rules that
+    only care about a few node types should use :meth:`nodes` instead of
+    ``ast.walk`` — the first call walks the tree once and buckets every
+    node by type, so N rules cost one traversal instead of N.
+    """
 
     path: str
     tree: ast.Module
     lines: tuple[str, ...]
+    #: Lazily built node-type buckets, shared by all rules on this module.
+    _node_index: dict[type, tuple[ast.AST, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def nodes(self, *types: type) -> tuple[ast.AST, ...]:
+        """All nodes of the given types, in document order, from one walk."""
+        if not self._node_index:
+            buckets: dict[type, list[ast.AST]] = {}
+            for node in ast.walk(self.tree):
+                buckets.setdefault(type(node), []).append(node)
+            for node_type, bucket in buckets.items():
+                self._node_index[node_type] = tuple(bucket)
+        if len(types) == 1:
+            return self._node_index.get(types[0], ())
+        matched: list[ast.AST] = []
+        for node_type in types:
+            matched.extend(self._node_index.get(node_type, ()))
+        matched.sort(key=lambda node: (getattr(node, "lineno", 0), getattr(node, "col_offset", 0)))
+        return tuple(matched)
 
 
 #: A rule check yields ``(line, message)`` pairs over one module.
@@ -82,17 +112,41 @@ class LintRule:
     summary: str
     check: Check
     scope: tuple[str, ...] = ()
+    #: Long-form rationale shown by ``repro analyze --explain NAME``.
+    explanation: str = ""
 
     def applies(self, path: str) -> bool:
         posix = path.replace("\\", "/")
         return not self.scope or any(pattern in posix for pattern in self.scope)
 
 
-def default_rules() -> tuple[LintRule, ...]:
-    """The built-in rule set (imported lazily to keep this module generic)."""
-    from repro.analysis.rules import RULES
+@dataclass(frozen=True)
+class LintStats:
+    """Where a lint run spent its time (reported by ``--check``)."""
 
-    return RULES
+    files: int
+    rules: int
+    parse_seconds: float
+    check_seconds: float
+
+    def describe(self) -> str:
+        total = self.parse_seconds + self.check_seconds
+        return (
+            f"checked {self.files} files with {self.rules} rules in {total:.2f}s "
+            f"(parse {self.parse_seconds:.2f}s, rules {self.check_seconds:.2f}s; "
+            "one parse per file, AST shared across rules)"
+        )
+
+
+def default_rules() -> tuple[LintRule, ...]:
+    """The built-in rule set (imported lazily to keep this module generic).
+
+    Includes both the syntactic rules and the flow-sensitive analyzers;
+    ``repro analyze`` runs the analyzer subset alone.
+    """
+    from repro.analysis.rules import ALL_RULES
+
+    return ALL_RULES
 
 
 def default_paths() -> list[Path]:
@@ -141,6 +195,15 @@ def lint_source(
     """
     if rules is None:
         rules = default_rules()
+    findings, _, _ = _lint_source_timed(source, path, rules)
+    return findings
+
+
+def _lint_source_timed(
+    source: str, path: str, rules: Sequence[LintRule]
+) -> tuple[list[LintFinding], float, float]:
+    """Lint one module, returning ``(findings, parse_seconds, check_seconds)``."""
+    parse_start = time.perf_counter()
     lines = tuple(source.splitlines())
     suppressed, findings = _parse_suppressions(lines, path)
     try:
@@ -149,8 +212,9 @@ def lint_source(
         findings.append(
             LintFinding("syntax-error", path, error.lineno or 1, f"does not parse: {error.msg}")
         )
-        return findings
+        return findings, time.perf_counter() - parse_start, 0.0
     context = LintContext(path=path, tree=tree, lines=lines)
+    check_start = time.perf_counter()
     for rule in rules:
         if not rule.applies(path):
             continue
@@ -158,8 +222,9 @@ def lint_source(
             if rule.name in suppressed.get(line, frozenset()):
                 continue
             findings.append(LintFinding(rule.name, path, line, message))
+    check_end = time.perf_counter()
     findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
-    return findings
+    return findings, check_start - parse_start, check_end - check_start
 
 
 def iter_source_files(paths: Iterable[Path]) -> list[Path]:
@@ -188,12 +253,31 @@ def lint_paths(
     paths: Sequence[Path] | None = None, rules: Sequence[LintRule] | None = None
 ) -> list[LintFinding]:
     """Lint files/directories (default: the ``repro`` package tree)."""
+    findings, _ = lint_paths_timed(paths, rules)
+    return findings
+
+
+def lint_paths_timed(
+    paths: Sequence[Path] | None = None, rules: Sequence[LintRule] | None = None
+) -> tuple[list[LintFinding], LintStats]:
+    """Like :func:`lint_paths`, but also reports where the time went."""
     if rules is None:
         rules = default_rules()
     targets = iter_source_files(paths if paths else default_paths())
     findings: list[LintFinding] = []
+    parse_seconds = 0.0
+    check_seconds = 0.0
     for target in targets:
-        findings.extend(
-            lint_source(target.read_text(encoding="utf-8"), _display_path(target), rules)
+        file_findings, parsed, checked = _lint_source_timed(
+            target.read_text(encoding="utf-8"), _display_path(target), rules
         )
-    return findings
+        findings.extend(file_findings)
+        parse_seconds += parsed
+        check_seconds += checked
+    stats = LintStats(
+        files=len(targets),
+        rules=len(rules),
+        parse_seconds=parse_seconds,
+        check_seconds=check_seconds,
+    )
+    return findings, stats

@@ -1,9 +1,12 @@
-"""The repro-specific lint rules.
+"""The repro-specific lint rules and dataflow analyzers.
 
-Each rule is a syntactic check over one parsed module, registered in
-:data:`RULES` (an immutable tuple — the lint framework itself carries no
-process state).  The rule catalogue in ``docs/lint-rules.md`` documents
-every rule's rationale and suppression guidance; keep the two in sync.
+:data:`RULES` holds the syntactic checks (per-node AST matches);
+:data:`ANALYZER_RULES` holds the flow-sensitive dataflow analyzers built
+on :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`.  Both run
+under the same driver, share one parsed AST per file (via
+:meth:`LintContext.nodes`), and use the same justified-suppression
+syntax.  The catalogue in ``docs/static-analysis.md`` documents every
+rule's rationale and suppression guidance; keep the two in sync.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from typing import Iterator
 
 from repro.analysis.lint import LintContext, LintRule
 
-__all__ = ["RULES"]
+__all__ = ["ALL_RULES", "ANALYZER_RULES", "RULES"]
 
 #: Node types whose evaluation yields a freshly allocated mutable object.
 _MUTABLE_LITERALS = (
@@ -64,13 +67,15 @@ def _check_set_order_iteration(context: LintContext) -> Iterator[tuple[int, str]
         "iterating a set here is hash-order-dependent; wrap it in sorted() "
         "so fingerprints and serialised artefacts stay bit-identical"
     )
-    for node in ast.walk(context.tree):
-        if isinstance(node, (ast.For, ast.AsyncFor)) and _builds_set(node.iter):
+    for node in context.nodes(ast.For, ast.AsyncFor):
+        assert isinstance(node, (ast.For, ast.AsyncFor))
+        if _builds_set(node.iter):
             yield node.iter.lineno, message
-        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
-            for generator in node.generators:
-                if _builds_set(generator.iter):
-                    yield generator.iter.lineno, message
+    for node in context.nodes(ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp):
+        assert isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp))
+        for generator in node.generators:
+            if _builds_set(generator.iter):
+                yield generator.iter.lineno, message
 
 
 # --------------------------------------------------------------------------- #
@@ -90,32 +95,35 @@ def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
 
 
 def _check_mutable_default(context: LintContext) -> Iterator[tuple[int, str]]:
-    for node in ast.walk(context.tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            defaults = list(node.args.defaults) + [
-                default for default in node.args.kw_defaults if default is not None
-            ]
-            for default in defaults:
-                if _is_mutable_value(default):
-                    yield (
-                        default.lineno,
-                        f"mutable default argument in {node.name}(); defaults are "
-                        "evaluated once and shared across calls — use None and "
-                        "allocate inside the body",
-                    )
-        elif isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
-            for statement in node.body:
-                value = (
-                    statement.value
-                    if isinstance(statement, (ast.Assign, ast.AnnAssign))
-                    else None
+    for node in context.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_value(default):
+                yield (
+                    default.lineno,
+                    f"mutable default argument in {node.name}(); defaults are "
+                    "evaluated once and shared across calls — use None and "
+                    "allocate inside the body",
                 )
-                if value is not None and _is_mutable_value(value):
-                    yield (
-                        statement.lineno,
-                        "mutable dataclass field default is shared across instances; "
-                        "use field(default_factory=...)",
-                    )
+    for node in context.nodes(ast.ClassDef):
+        assert isinstance(node, ast.ClassDef)
+        if not _is_dataclass_decorated(node):
+            continue
+        for statement in node.body:
+            value = (
+                statement.value
+                if isinstance(statement, (ast.Assign, ast.AnnAssign))
+                else None
+            )
+            if value is not None and _is_mutable_value(value):
+                yield (
+                    statement.lineno,
+                    "mutable dataclass field default is shared across instances; "
+                    "use field(default_factory=...)",
+                )
 
 
 # --------------------------------------------------------------------------- #
@@ -174,26 +182,26 @@ def _check_internal_shim_call(context: LintContext) -> Iterator[tuple[int, str]]
     # shims module) is reachable, and shim functions imported by name.
     module_aliases: set[str] = set()
     direct_names: set[str] = set()
-    for node in ast.walk(context.tree):
-        if isinstance(node, ast.Import):
+    for node in context.nodes(ast.Import):
+        assert isinstance(node, ast.Import)
+        for alias in node.names:
+            if alias.name in ("repro", "repro.session.shims"):
+                module_aliases.add(alias.asname or alias.name.split(".")[0])
+    for node in context.nodes(ast.ImportFrom):
+        assert isinstance(node, ast.ImportFrom)
+        if node.module in ("repro", "repro.session.shims"):
             for alias in node.names:
-                if alias.name in ("repro", "repro.session.shims"):
-                    module_aliases.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(node, ast.ImportFrom):
-            if node.module in ("repro", "repro.session.shims"):
-                for alias in node.names:
-                    if alias.name in shims:
-                        direct_names.add(alias.asname or alias.name)
-            elif node.module == "repro.session" :
-                for alias in node.names:
-                    if alias.name == "shims":
-                        module_aliases.add(alias.asname or "shims")
+                if alias.name in shims:
+                    direct_names.add(alias.asname or alias.name)
+        elif node.module == "repro.session":
+            for alias in node.names:
+                if alias.name == "shims":
+                    module_aliases.add(alias.asname or "shims")
 
     if not module_aliases and not direct_names:
         return
-    for node in ast.walk(context.tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in context.nodes(ast.Call):
+        assert isinstance(node, ast.Call)
         target = node.func
         name = None
         if isinstance(target, ast.Name) and target.id in direct_names:
@@ -217,13 +225,35 @@ def _check_internal_shim_call(context: LintContext) -> Iterator[tuple[int, str]]
 # bare-except
 # --------------------------------------------------------------------------- #
 def _check_bare_except(context: LintContext) -> Iterator[tuple[int, str]]:
-    for node in ast.walk(context.tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
+    for node in context.nodes(ast.ExceptHandler):
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
             yield (
                 node.lineno,
                 "bare 'except:' swallows SystemExit/KeyboardInterrupt and hides "
                 "engine failures; catch a specific exception type",
             )
+
+
+# --------------------------------------------------------------------------- #
+# Flow-sensitive analyzer rules (CFG + dataflow, see taint.py / forksafety.py)
+# --------------------------------------------------------------------------- #
+def _check_determinism_taint(context: LintContext) -> Iterator[tuple[int, str]]:
+    from repro.analysis.taint import analyze_module
+
+    yield from analyze_module(context.tree)
+
+
+def _check_fork_unpicklable(context: LintContext) -> Iterator[tuple[int, str]]:
+    from repro.analysis.forksafety import unpicklable_findings
+
+    yield from unpicklable_findings(context.tree)
+
+
+def _check_fork_shared_state(context: LintContext) -> Iterator[tuple[int, str]]:
+    from repro.analysis.forksafety import shared_state_findings
+
+    yield from shared_state_findings(context.tree)
 
 
 RULES: tuple[LintRule, ...] = (
@@ -232,25 +262,118 @@ RULES: tuple[LintRule, ...] = (
         summary="no hash-order set iteration in fingerprint/serialisation paths",
         check=_check_set_order_iteration,
         scope=("engine/fingerprints.py", "engine/persist.py", "io/json_codec.py"),
+        explanation=(
+            "Python sets iterate in hash order, which varies across processes "
+            "(PYTHONHASHSEED) and interpreter versions.  In the fingerprint and "
+            "serialisation modules that nondeterminism leaks straight into "
+            "persisted digests and JSON artefacts, breaking warm starts and "
+            "bit-identical replay.  Wrap the iterable in sorted() with a stable "
+            "key.  This is the syntactic ancestor of the flow-sensitive "
+            "determinism-taint analyzer, kept for the three scoped modules "
+            "where *any* raw set iteration is suspect."
+        ),
     ),
     LintRule(
         name="mutable-default",
         summary="no mutable default arguments or dataclass field defaults",
         check=_check_mutable_default,
+        explanation=(
+            "Default values are evaluated once at definition time; a mutable "
+            "default is silently shared across every call (or every dataclass "
+            "instance), so state leaks between unrelated computations.  Use "
+            "None plus an in-body allocation, or field(default_factory=...)."
+        ),
     ),
     LintRule(
         name="global-mutable-state",
         summary="no process-global mutable containers outside the registries",
         check=_check_global_mutable_state,
+        explanation=(
+            "Module-level mutable containers are process-global hidden state: "
+            "they survive across sessions, are not keyed into any fingerprint, "
+            "and fork into inconsistent per-process copies under "
+            "multiprocessing.  The sanctioned registries (backend factories, "
+            "decision strategies) are the deliberate exceptions; anything else "
+            "needs a justified suppression."
+        ),
     ),
     LintRule(
         name="internal-shim-call",
         summary="library code must not call its own deprecation shims",
         check=_check_internal_shim_call,
+        explanation=(
+            "The top-level deprecation shims exist for external callers during "
+            "migration; internal use would re-entrench the deprecated surface "
+            "and bypass the session layer's caching and memoisation."
+        ),
     ),
     LintRule(
         name="bare-except",
         summary="no bare except clauses",
         check=_check_bare_except,
+        explanation=(
+            "A bare 'except:' also catches SystemExit and KeyboardInterrupt "
+            "and hides engine failures as silent fallbacks.  Catch the "
+            "narrowest exception type the recovery actually handles."
+        ),
     ),
 )
+
+#: The flow-sensitive analyzers.  They run under ``repro lint`` alongside
+#: the syntactic rules and alone under ``repro analyze``.
+ANALYZER_RULES: tuple[LintRule, ...] = (
+    LintRule(
+        name="determinism-taint",
+        summary="no nondeterministic value may flow into verdicts, certificates, "
+        "serialised artefacts, or persistent digests",
+        check=_check_determinism_taint,
+        explanation=(
+            "A forward may-taint analysis over each function's CFG.  Sources: "
+            "iteration over unsorted sets/dicts (captured order), id(), "
+            "identity hash(), os.environ reads, time/clock calls.  "
+            "Sanitizers: sorted(), canonical-key ordering, the interning "
+            "layer's dense-id paths.  Sinks: Outcome construction, "
+            "certificate constructors, json.dump(s)/corpus serialisation, and "
+            "persistent_digest() inputs.  Flow-sensitivity is the point: "
+            "sorted(list(s)) is clean, and a raw set passed directly to "
+            "persistent_digest() is clean too (the digest canonicalises "
+            "containers itself) — only *captured* iteration order and "
+            "value-level nondeterminism (identity, environment, time) are "
+            "reported, which is what kills the false positives the syntactic "
+            "set-order-iteration rule had to suppress."
+        ),
+    ),
+    LintRule(
+        name="fork-unpicklable",
+        summary="every value crossing pool_imap/parallel_batch/SessionSpec must "
+        "be picklable",
+        check=_check_fork_unpicklable,
+        explanation=(
+            "A flow-sensitive binding analysis labels names bound to lambdas, "
+            "function-local defs and classes, and open file handles, and "
+            "reports any labelled value (or literal lambda) reaching a "
+            "pool_imap()/parallel_batch()/SessionSpec() argument — those "
+            "values cross the multiprocessing pickle boundary and would raise "
+            "PicklingError only when the parallel path actually runs.  "
+            "Rebinding the name to a module-level callable before the call "
+            "site is recognised as clean."
+        ),
+    ),
+    LintRule(
+        name="fork-shared-state",
+        summary="no worker-reachable writes to module-level state (lost update "
+        "across fork)",
+        check=_check_fork_shared_state,
+        explanation=(
+            "Builds the same-module call graph rooted at every function handed "
+            "to a worker boundary (pool_imap targets, initializer= callbacks) "
+            "and reports global rebinding or in-place mutation of module-level "
+            "mutable containers anywhere reachable: under fork/spawn the write "
+            "lands in the worker's copy of the module and is silently lost in "
+            "the parent."
+        ),
+    ),
+)
+
+#: Everything ``repro lint`` runs by default.
+ALL_RULES: tuple[LintRule, ...] = RULES + ANALYZER_RULES

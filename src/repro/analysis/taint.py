@@ -1,0 +1,559 @@
+"""Flow-sensitive determinism-taint analysis.
+
+The paper reproduction's central promise is bit-identical artefacts:
+verdicts, certificates, corpora and persistent-cache digests must not
+depend on hash order, object identity, the environment or the clock.
+PR 8's syntactic ``set-order-iteration`` rule can only pattern-match "a
+set is iterated here" — it cannot see that the set was ``sorted()`` two
+lines earlier, nor that the resulting value never reaches anything that
+is serialized.  This analyzer tracks *taint* through each function's CFG
+(:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`) and reports
+only when a value that is still nondeterministic **reaches a sink**.
+
+Taint kinds
+-----------
+``unordered``
+    The value is an unordered container (``set``/``frozenset``).  Holding
+    or testing membership in one is harmless — and the canonical encoders
+    (``persistent_digest``) sort containers themselves — so this kind is
+    *not* reportable at sinks; it exists to detect the moment an iteration
+    order is captured.
+``iteration-order``
+    The value's content or order was fixed by iterating an unordered
+    container (``list(s)``, a comprehension over a set, an accumulator
+    appended inside a set-order loop, ``s.pop()``).
+``identity`` / ``environment`` / ``time``
+    The value derives from ``id()``/``hash()``, environment reads
+    (``os.environ``/``os.getenv``/``os.urandom``) or clock reads
+    (``time.time()``, ``datetime.now()``).
+
+Sanitizers
+----------
+``sorted(...)`` and ``.sort()`` erase ``unordered``/``iteration-order``;
+order-insensitive aggregations (``len``/``sum``/``min``/``max``/``any``/
+``all``) do the same, as do the canonical-key helpers
+(``term_sort_key``, ``persistent_digest`` itself) and the interning
+layer's dense-id lookups — their outputs are deterministic functions of
+the multiset, not of the iteration order.
+
+Sinks
+-----
+Calls whose arguments become durable or observable artefacts: the
+session ``Outcome`` and certificate constructors, corpus/JSON
+serialization (``json.dump(s)``, ``save_corpus``, ``pair_to_dict``) and
+``persistent_digest`` inputs.  A reportable taint kind still live in an
+argument at the call site is a ``determinism-taint`` finding.
+
+Known approximations (documented, deliberate): augmented arithmetic
+accumulation (``total += x``) inside a set-order loop is treated as an
+order-insensitive reduction unless the operand is a string; calls the
+analyzer does not model propagate only reportable kinds and never
+introduce order taint.  Both choices trade recall for a zero
+false-positive clean tree, which is what lets the rule run in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.cfg import Block, ControlFlowGraph, StatementNode, build_cfg
+from repro.analysis.dataflow import State, run_analysis
+
+__all__ = [
+    "ENVIRONMENT",
+    "IDENTITY",
+    "ITERATION_ORDER",
+    "REPORTABLE",
+    "TIME",
+    "UNORDERED",
+    "analyze_module",
+]
+
+UNORDERED = "unordered"
+ITERATION_ORDER = "iteration-order"
+IDENTITY = "identity"
+ENVIRONMENT = "environment"
+TIME = "time"
+
+#: The kinds that constitute a finding when they reach a sink.
+REPORTABLE = frozenset({ITERATION_ORDER, IDENTITY, ENVIRONMENT, TIME})
+
+#: Kinds that survive element extraction: iterating or indexing a
+#: container whose *order* is tainted yields elements whose values are
+#: still deterministic; only value-level kinds ride along.
+_VALUE_KINDS = frozenset({IDENTITY, ENVIRONMENT, TIME})
+
+_EMPTY: frozenset[str] = frozenset()
+
+#: Builtins that construct unordered containers.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Builtins that capture an iteration order into an ordered value.
+_ORDER_CAPTURING = frozenset({"list", "tuple", "dict", "iter", "enumerate", "reversed"})
+
+#: Order-insensitive aggregations: deterministic functions of the multiset.
+_AGGREGATIONS = frozenset({"len", "sum", "min", "max", "any", "all"})
+
+#: Deterministic canonicalisers: their output depends only on the value,
+#: never on iteration order (``persistent_digest`` sorts internally;
+#: ``term_sort_key`` is the canonical structural ordering; the interning
+#: layer's dense-id paths are deterministic given the interned content).
+_CANONICALIZERS = frozenset({"sorted", "persistent_digest", "term_sort_key"})
+
+#: Method names that preserve the receiver's container kinds.
+_PRESERVING_METHODS = frozenset(
+    {"copy", "union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Mutating method calls that absorb argument taint into the receiver.
+_MUTATORS = frozenset({"append", "extend", "insert", "add", "update", "setdefault"})
+
+#: Mutators that additionally capture insertion order when executed inside
+#: a loop over an unordered container (``add`` keeps a set unordered and
+#: ``update`` on a set is order-free; on a dict it is not, but the shared
+#: name forces a choice — order-capturing is the safe one for dicts and
+#: the fixtures pin the set case via ``add``).
+_ORDER_CAPTURING_MUTATORS = frozenset({"append", "extend", "insert", "update", "setdefault"})
+
+#: ``time``-module attributes whose call yields a clock read.
+_TIME_CALLS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+#: ``datetime``-ish constructors that read the clock.
+_NOW_CALLS = frozenset({"now", "utcnow", "today"})
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The simple name of a call target (``f`` or ``obj.f``), if any."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _receiver_name(func: ast.expr) -> str | None:
+    """For ``obj.method(...)``, the plain name of ``obj``, if it has one."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def _is_environ_access(node: ast.expr) -> bool:
+    """``os.environ`` (or a bare ``environ``) as an expression."""
+    if isinstance(node, ast.Attribute) and node.attr == "environ":
+        return True
+    return isinstance(node, ast.Name) and node.id == "environ"
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class _Finding:
+    """One taint observation, pre-rendered for the lint layer."""
+
+    __slots__ = ("line", "message")
+
+    def __init__(self, line: int, message: str) -> None:
+        self.line = line
+        self.message = message
+
+
+class DeterminismTaint:
+    """The :class:`repro.analysis.dataflow.Analysis` for determinism taint."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+
+    # ------------------------------------------------------------------ #
+    # Expression taint evaluation
+    # ------------------------------------------------------------------ #
+    def taint_of(self, node: ast.expr | None, state: State) -> frozenset[str]:
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return state.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Set):
+            return frozenset({UNORDERED}) | (self._union(node.elts, state) & _VALUE_KINDS)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node, state)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._comprehension_taint(node, state)
+        if isinstance(node, ast.Attribute):
+            return self.taint_of(node.value, state)
+        if isinstance(node, ast.Subscript):
+            if _is_environ_access(node.value):
+                return frozenset({ENVIRONMENT})
+            combined = self.taint_of(node.value, state) | self.taint_of(node.slice, state)
+            return combined - frozenset({UNORDERED})
+        if isinstance(node, ast.BinOp):
+            return self.taint_of(node.left, state) | self.taint_of(node.right, state)
+        if isinstance(node, ast.BoolOp):
+            return self._union(node.values, state)
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand, state)
+        if isinstance(node, ast.Compare):
+            combined = self.taint_of(node.left, state) | self._union(node.comparators, state)
+            # Membership/equality results do not inherit iteration order.
+            return combined & _VALUE_KINDS
+        if isinstance(node, ast.IfExp):
+            return (
+                self.taint_of(node.body, state)
+                | self.taint_of(node.orelse, state)
+                | (self.taint_of(node.test, state) & REPORTABLE)
+            )
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return self._union(node.elts, state) & REPORTABLE
+        if isinstance(node, ast.Dict):
+            keys = self._union([key for key in node.keys if key is not None], state)
+            values = self._union(node.values, state)
+            return (keys | values) & REPORTABLE
+        if isinstance(node, ast.JoinedStr):
+            return self._union(node.values, state) & REPORTABLE
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.taint_of(node.value, state)
+            if isinstance(node.target, ast.Name):
+                state[node.target.id] = taint
+            return taint
+        if isinstance(node, (ast.Await, ast.Starred)):
+            return self.taint_of(node.value, state)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        return _EMPTY
+
+    def _union(self, nodes: Iterable[ast.expr], state: State) -> frozenset[str]:
+        combined: frozenset[str] = _EMPTY
+        for node in nodes:
+            combined |= self.taint_of(node, state)
+        return combined
+
+    def _argument_taint(self, call: ast.Call, state: State) -> frozenset[str]:
+        combined = self._union(call.args, state)
+        for keyword in call.keywords:
+            combined |= self.taint_of(keyword.value, state)
+        return combined
+
+    def _call_taint(self, call: ast.Call, state: State) -> frozenset[str]:
+        name = _call_name(call.func)
+        arguments = self._argument_taint(call, state)
+        if name in _SET_CONSTRUCTORS:
+            return frozenset({UNORDERED}) | (arguments & _VALUE_KINDS)
+        if name in ("id", "hash"):
+            return frozenset({IDENTITY}) | (arguments & REPORTABLE)
+        if name in ("getenv", "urandom") or (
+            isinstance(call.func, ast.Attribute) and _is_environ_access(call.func.value)
+        ):
+            return frozenset({ENVIRONMENT})
+        if name in _TIME_CALLS or name in _NOW_CALLS:
+            return frozenset({TIME})
+        if name in _CANONICALIZERS:
+            return arguments - frozenset({UNORDERED, ITERATION_ORDER})
+        if name in _AGGREGATIONS:
+            return arguments & _VALUE_KINDS
+        if name in _ORDER_CAPTURING or name == "join":
+            if arguments & frozenset({UNORDERED, ITERATION_ORDER}):
+                return (arguments & REPORTABLE) | frozenset({ITERATION_ORDER})
+            return arguments & REPORTABLE
+        if name == "pop":
+            receiver = _receiver_name(call.func)
+            if receiver is not None and UNORDERED in state.get(receiver, _EMPTY):
+                return frozenset({ITERATION_ORDER})
+        if name in _PRESERVING_METHODS:
+            receiver = _receiver_name(call.func)
+            receiver_taint = (
+                state.get(receiver, _EMPTY) if receiver is not None else _EMPTY
+            )
+            return receiver_taint | (arguments & _VALUE_KINDS)
+        if name == "next":
+            return arguments
+        # Unknown callables: propagate reportable kinds from the arguments
+        # (and the receiver), never introduce order taint of their own.
+        receiver = _receiver_name(call.func)
+        receiver_taint = state.get(receiver, _EMPTY) if receiver is not None else _EMPTY
+        return (arguments | receiver_taint) & REPORTABLE
+
+    def _comprehension_taint(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+        state: State,
+    ) -> frozenset[str]:
+        local = dict(state)
+        result: frozenset[str] = _EMPTY
+        order_tainted = False
+        for generator in node.generators:
+            iter_taint = self.taint_of(generator.iter, local)
+            if iter_taint & frozenset({UNORDERED, ITERATION_ORDER}):
+                order_tainted = True
+            element_taint = iter_taint & _VALUE_KINDS
+            for name in _target_names(generator.target):
+                local[name] = element_taint
+            for condition in generator.ifs:
+                self.taint_of(condition, local)  # walrus side effects only
+        if isinstance(node, ast.DictComp):
+            result |= (
+                self.taint_of(node.key, local) | self.taint_of(node.value, local)
+            ) & REPORTABLE
+        else:
+            result |= self.taint_of(node.elt, local) & REPORTABLE
+        if isinstance(node, ast.SetComp):
+            # The produced set is itself unordered; capturing order comes
+            # later, if and when it is iterated.
+            return frozenset({UNORDERED}) | (result & _VALUE_KINDS)
+        if order_tainted:
+            result |= frozenset({ITERATION_ORDER})
+        return result
+
+    # ------------------------------------------------------------------ #
+    # The dataflow hooks
+    # ------------------------------------------------------------------ #
+    def initial_state(self, cfg: ControlFlowGraph) -> State:
+        state: State = {}
+        root = cfg.root
+        if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = root.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                state[arg.arg] = self._annotation_taint(arg.annotation)
+            if arguments.vararg is not None:
+                state[arguments.vararg.arg] = _EMPTY
+            if arguments.kwarg is not None:
+                state[arguments.kwarg.arg] = _EMPTY
+        return state
+
+    @staticmethod
+    def _annotation_taint(annotation: ast.expr | None) -> frozenset[str]:
+        """Parameters annotated as sets start life unordered.
+
+        An unannotated parameter is assumed ordered (flagging every
+        ``list(param)`` would drown the tree in false positives); a
+        ``set``/``frozenset`` annotation is an explicit declaration that
+        iteration order is not meaningful, so capturing it is a defect.
+        """
+        base = annotation
+        if isinstance(base, ast.Subscript):  # set[str], frozenset[Atom], ...
+            base = base.value
+        name: str | None = None
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):  # typing.AbstractSet etc.
+            name = base.attr
+        if name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"):
+            return frozenset({UNORDERED})
+        return _EMPTY
+
+    def _in_nondet_loop(self, state: State, block: Block) -> bool:
+        return any(state.get(f"@loop{head}") for head in block.loop_heads)
+
+    def transfer(self, statement: StatementNode, state: State, block: Block) -> None:
+        if isinstance(statement, ast.Assign):
+            taint = self.taint_of(statement.value, state)
+            for target in statement.targets:
+                self._assign(target, taint, state, block)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            taint = self.taint_of(statement.value, state)
+            self._assign(statement.target, taint, state, block)
+        elif isinstance(statement, ast.AugAssign):
+            self._aug_assign(statement, state, block)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            self._for_header(statement, state, block)
+        elif isinstance(statement, (ast.While, ast.If)):
+            self.taint_of(statement.test, state)  # walrus side effects
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                taint = self.taint_of(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taint, state, block)
+        elif isinstance(statement, ast.excepthandler):
+            if statement.name:
+                state[statement.name] = _EMPTY
+        elif isinstance(statement, ast.Expr):
+            self._expression_statement(statement.value, state, block)
+        elif isinstance(statement, ast.Delete):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            state[statement.name] = _EMPTY
+        elif isinstance(statement, ast.Return):
+            self.taint_of(statement.value, state)
+        elif isinstance(statement, (ast.Import, ast.ImportFrom)):
+            for alias in statement.names:
+                state[(alias.asname or alias.name).split(".")[0]] = _EMPTY
+
+    def _assign(
+        self, target: ast.expr, taint: frozenset[str], state: State, block: Block
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = taint  # strong, flow-sensitive update
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            element_taint = taint - frozenset({UNORDERED})
+            for name in _target_names(target):
+                state[name] = element_taint
+            return
+        # Attribute/subscript targets: weak update on the base object; a
+        # keyed write inside a nondeterministic-order loop captures that
+        # order in the container.
+        base = target
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            added = taint & REPORTABLE
+            if isinstance(target, ast.Subscript) and self._in_nondet_loop(state, block):
+                added |= frozenset({ITERATION_ORDER})
+            if added:
+                state[base.id] = state.get(base.id, _EMPTY) | added
+
+    def _aug_assign(self, statement: ast.AugAssign, state: State, block: Block) -> None:
+        taint = self.taint_of(statement.value, state)
+        order_sensitive = isinstance(statement.value, (ast.JoinedStr, ast.List)) or (
+            isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+        )
+        target = statement.target
+        if isinstance(target, ast.Name):
+            combined = state.get(target.id, _EMPTY) | (taint & REPORTABLE)
+            if self._in_nondet_loop(state, block) and order_sensitive:
+                combined |= frozenset({ITERATION_ORDER})
+            state[target.id] = combined
+        else:
+            self._assign(target, taint, state, block)
+
+    def _for_header(
+        self, statement: ast.For | ast.AsyncFor, state: State, block: Block
+    ) -> None:
+        iter_taint = self.taint_of(statement.iter, state)
+        element_taint = iter_taint & _VALUE_KINDS
+        for name in _target_names(statement.target):
+            state[name] = element_taint
+        if iter_taint & frozenset({UNORDERED, ITERATION_ORDER}):
+            state[f"@loop{block.index}"] = frozenset({ITERATION_ORDER})
+
+    def _expression_statement(self, value: ast.expr, state: State, block: Block) -> None:
+        if not isinstance(value, ast.Call):
+            self.taint_of(value, state)
+            return
+        name = _call_name(value.func)
+        receiver = _receiver_name(value.func)
+        if receiver is not None and name == "sort":
+            state[receiver] = state.get(receiver, _EMPTY) - frozenset(
+                {UNORDERED, ITERATION_ORDER}
+            )
+            return
+        if receiver is not None and name in _MUTATORS:
+            added = self._argument_taint(value, state) & REPORTABLE
+            if name in _ORDER_CAPTURING_MUTATORS and self._in_nondet_loop(state, block):
+                added |= frozenset({ITERATION_ORDER})
+            if added:
+                state[receiver] = state.get(receiver, _EMPTY) | added
+            return
+        self.taint_of(value, state)
+
+    # ------------------------------------------------------------------ #
+    # Sinks
+    # ------------------------------------------------------------------ #
+
+    #: Call-target names whose arguments become durable artefacts.
+    SINKS: dict[str, str] = {
+        "persistent_digest": "a persistent cache digest",
+        "dumps": "JSON serialization",
+        "dump": "JSON serialization",
+        "save_corpus": "a saved corpus",
+        "pair_to_dict": "corpus serialization",
+        "Outcome": "a session Outcome",
+        "ContainmentCounterexample": "a containment certificate",
+    }
+
+    def observe(
+        self, statement: StatementNode, state: State, block: Block
+    ) -> Iterator[_Finding]:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        for node in self._statement_calls(statement):
+            name = _call_name(node.func)
+            if name not in self.SINKS:
+                continue
+            if name in ("dumps", "dump") and not self._is_json_call(node.func):
+                continue
+            local = dict(state)
+            for argument in [*node.args, *[keyword.value for keyword in node.keywords]]:
+                live = self.taint_of(argument, local) & REPORTABLE
+                if live:
+                    kinds = ", ".join(sorted(live))
+                    # Anchor at the offending argument, so a suppression on
+                    # that argument's line silences exactly this flow.
+                    yield _Finding(
+                        argument.lineno,
+                        f"nondeterministic value ({kinds}) flows into "
+                        f"{self.SINKS[name]} via {name}(); canonicalize it "
+                        "(sorted()/stable keys) before it becomes an artefact",
+                    )
+                    break  # one finding per sink call
+
+    @staticmethod
+    def _is_json_call(func: ast.expr) -> bool:
+        return isinstance(func, ast.Attribute) and (
+            isinstance(func.value, ast.Name) and func.value.id == "json"
+        )
+
+    def _statement_calls(self, statement: StatementNode) -> Iterator[ast.Call]:
+        """Calls evaluated by this statement, excluding nested scopes.
+
+        Compound-statement markers only evaluate their header expressions,
+        so only those are searched (the bodies live in other blocks).
+        """
+        header: list[ast.expr] = []
+        if isinstance(statement, (ast.For, ast.AsyncFor)):
+            header = [statement.iter]
+        elif isinstance(statement, (ast.While, ast.If)):
+            header = [statement.test]
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            header = [item.context_expr for item in statement.items]
+        elif isinstance(statement, (ast.Try, ast.excepthandler, ast.Match)):
+            header = []
+        elif isinstance(statement, ast.stmt):
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call):
+                    yield node
+            return
+        for expression in header:
+            for node in ast.walk(expression):
+                if isinstance(node, ast.Call):
+                    yield node
+
+
+def analyze_module(tree: ast.Module) -> Iterator[tuple[int, str]]:
+    """Run the determinism-taint analysis over every scope of a module.
+
+    Yields ``(line, message)`` pairs, the lint framework's finding shape.
+    Each function (at any nesting depth) and the module body itself is
+    analyzed as its own scope; nested scopes start from unknown (empty)
+    bindings, which under-approximates closures but never fabricates
+    taint.
+    """
+    scopes: list[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    for scope in scopes:
+        cfg = build_cfg(scope)
+        analysis = DeterminismTaint(cfg)
+        for finding in run_analysis(cfg, analysis):
+            yield finding.line, finding.message

@@ -36,11 +36,20 @@ Sub-commands
     generated function online (``repro.analysis``).
 
 ``lint``
-    Run the repro-specific AST lint rules (``repro.analysis.lint``) over
-    source trees: determinism hazards in the fingerprint/serialisation
-    paths, mutable defaults, unsanctioned global state, internal shim
-    calls, bare excepts.  ``--check`` is the quiet CI mode; suppressions
-    require a justification.
+    Run the repro-specific static checks (``repro.analysis.lint``) over
+    source trees: the syntactic rules (determinism hazards in the
+    fingerprint/serialisation paths, mutable defaults, unsanctioned
+    global state, internal shim calls, bare excepts) plus the
+    flow-sensitive dataflow analyzers.  ``--check`` is the quiet CI mode
+    (a timing line goes to stderr); suppressions require a justification.
+
+``analyze``
+    Run only the flow-sensitive dataflow analyzers
+    (``repro.analysis.taint`` / ``repro.analysis.forksafety``) plus the
+    persist-schema lock check (``repro.analysis.schema_lock``).
+    ``--explain NAME`` prints a rule's full rationale, and
+    ``--write-schema-lock`` regenerates ``persist-schema.lock`` after a
+    deliberate ``SCHEMA_VERSION`` bump.
 
 ``profile``
     Run a named workload from :mod:`repro.workloads.scale` under
@@ -250,6 +259,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list the available rules and exit"
     )
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="run the flow-sensitive dataflow analyzers and the persist-schema lock check",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: print nothing on success, exit 1 on any finding",
+    )
+    analyze.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this analyzer (repeatable)",
+    )
+    analyze.add_argument(
+        "--explain",
+        metavar="NAME",
+        default=None,
+        help="print the full rationale of one rule or analyzer and exit",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="list the available analyzers and exit"
+    )
+    analyze.add_argument(
+        "--schema-lock",
+        metavar="PATH",
+        default="persist-schema.lock",
+        help="location of the committed schema lock (default: ./persist-schema.lock)",
+    )
+    analyze.add_argument(
+        "--write-schema-lock",
+        action="store_true",
+        help="regenerate the schema lock from the running code and exit "
+        "(commit the result alongside a SCHEMA_VERSION bump)",
+    )
+    analyze.add_argument(
+        "--no-schema-lock",
+        action="store_true",
+        help="skip the persist-schema lock check (dataflow analyzers only)",
+    )
+
     cache = subparsers.add_parser(
         "cache", help="inspect or maintain a persistent cache store"
     )
@@ -257,6 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=("info", "vacuum", "clear"), help="maintenance action"
     )
     cache.add_argument("path", help="the store file (as passed to --persist)")
+    cache.add_argument(
+        "--prune-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with vacuum: first drop entries not accessed in DAYS days",
+    )
+    cache.add_argument(
+        "--prune-lru",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with vacuum: first drop least-recently-accessed entries beyond N",
+    )
 
     profile = subparsers.add_parser(
         "profile", help="profile a named scale workload under cProfile"
@@ -444,7 +516,7 @@ def _run_lint(args: argparse.Namespace, session: Session) -> int:
     """Run the AST lint rules (``lint [--check] [--rule NAME] [PATHS]``)."""
     from pathlib import Path
 
-    from repro.analysis.lint import default_rules, lint_paths
+    from repro.analysis.lint import default_rules, lint_paths_timed
 
     rules = default_rules()
     if args.list_rules:
@@ -463,12 +535,73 @@ def _run_lint(args: argparse.Namespace, session: Session) -> int:
             )
         rules = tuple(rule for rule in rules if rule.name in wanted)
     paths = [Path(path) for path in args.paths] if args.paths else None
-    findings = lint_paths(paths, rules)
+    findings, stats = lint_paths_timed(paths, rules)
     for finding in findings:
         print(finding.describe())
     if not findings and not args.check:
         print("no lint findings")
+    # Timing goes to stderr so --check stays silent on stdout for CI logs.
+    print(stats.describe(), file=sys.stderr if args.check else sys.stdout)
     return 1 if findings else 0
+
+
+def _run_analyze(args: argparse.Namespace, session: Session) -> int:
+    """Run the dataflow analyzers and schema-lock check (``analyze ...``)."""
+    from pathlib import Path
+
+    from repro.analysis.lint import lint_paths_timed
+    from repro.analysis.rules import ALL_RULES, ANALYZER_RULES
+    from repro.analysis.schema_lock import check_lock, write_lock
+
+    if args.explain is not None:
+        matches = [rule for rule in ALL_RULES if rule.name == args.explain]
+        if not matches:
+            raise CliError(
+                f"unknown rule {args.explain!r}; known rules: "
+                f"{', '.join(sorted(rule.name for rule in ALL_RULES))}"
+            )
+        rule = matches[0]
+        print(f"{rule.name}: {rule.summary}")
+        if rule.scope:
+            print(f"scope: {', '.join(rule.scope)}")
+        print()
+        print(rule.explanation or "(no extended rationale recorded)")
+        return 0
+    if args.write_schema_lock:
+        fingerprint = write_lock(args.schema_lock)
+        print(
+            f"schema lock written to {args.schema_lock} "
+            f"(SCHEMA_VERSION {fingerprint.schema_version}, "
+            f"{len(fingerprint.types)} types, digest {fingerprint.digest[:16]}…)"
+        )
+        return 0
+    rules = ANALYZER_RULES
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:<24} {rule.summary}")
+        return 0
+    if args.rule:
+        wanted = set(args.rule)
+        known = {rule.name for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            raise CliError(
+                f"unknown analyzer(s) {', '.join(sorted(unknown))}; "
+                f"known analyzers: {', '.join(sorted(known))}"
+            )
+        rules = tuple(rule for rule in rules if rule.name in wanted)
+    paths = [Path(path) for path in args.paths] if args.paths else None
+    findings, stats = lint_paths_timed(paths, rules)
+    for finding in findings:
+        print(finding.describe())
+    problems = [] if args.no_schema_lock else check_lock(args.schema_lock)
+    for problem in problems:
+        print(f"persist-schema: {problem}")
+    failed = bool(findings) or bool(problems)
+    if not failed and not args.check:
+        print("no analyzer findings; persist-schema lock matches")
+    print(stats.describe(), file=sys.stderr if args.check else sys.stdout)
+    return 1 if failed else 0
 
 
 def _run_cache(args: argparse.Namespace, session: Session) -> int:
@@ -479,6 +612,10 @@ def _run_cache(args: argparse.Namespace, session: Session) -> int:
 
     if args.action != "info" and not os.path.exists(args.path):
         raise CliError(f"no persistent store at {args.path}")
+    if args.action != "vacuum" and (
+        args.prune_age is not None or args.prune_lru is not None
+    ):
+        raise CliError("--prune-age/--prune-lru only apply to the vacuum action")
     store = PersistentCache(args.path)
     try:
         if args.action == "info":
@@ -492,8 +629,14 @@ def _run_cache(args: argparse.Namespace, session: Session) -> int:
             print(f"backends: {', '.join(info['backends']) or '-'}")
             return 0 if info["status"] == "ok" else 1
         if args.action == "vacuum":
+            pruned = 0
+            if args.prune_age is not None:
+                pruned += store.prune_age(args.prune_age)
+            if args.prune_lru is not None:
+                pruned += store.prune_lru(args.prune_lru)
             ok = store.vacuum()
-            print(f"store {args.path}: {'vacuumed' if ok else 'vacuum FAILED'}")
+            summary = f"{pruned} entries pruned, " if pruned else ""
+            print(f"store {args.path}: {summary}{'vacuumed' if ok else 'vacuum FAILED'}")
             return 0 if ok else 1
         dropped = store.clear()
         store.vacuum()
@@ -567,6 +710,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _run_compare,
         "fuzz": _run_fuzz,
         "lint": _run_lint,
+        "analyze": _run_analyze,
         "cache": _run_cache,
         "profile": _run_profile,
     }

@@ -121,19 +121,26 @@ class PersistStats:
 
 _CREATE_TABLE = """
 CREATE TABLE IF NOT EXISTS entries (
-    layer   TEXT    NOT NULL,
-    key     TEXT    NOT NULL,
-    backend TEXT    NOT NULL,
-    limits  TEXT    NOT NULL,
-    schema  INTEGER NOT NULL,
-    target  TEXT    NOT NULL DEFAULT '',
-    value   BLOB    NOT NULL,
-    created REAL    NOT NULL,
+    layer    TEXT    NOT NULL,
+    key      TEXT    NOT NULL,
+    backend  TEXT    NOT NULL,
+    limits   TEXT    NOT NULL,
+    schema   INTEGER NOT NULL,
+    target   TEXT    NOT NULL DEFAULT '',
+    value    BLOB    NOT NULL,
+    created  REAL    NOT NULL,
+    accessed REAL    NOT NULL DEFAULT 0,
     PRIMARY KEY (layer, key, backend, limits, schema)
 )
 """
 
 _CREATE_TARGET_INDEX = "CREATE INDEX IF NOT EXISTS entries_target ON entries(target)"
+
+#: Migration for stores created before the ``accessed`` column existed
+#: (pre-eviction schema).  Rows from such stores start with their creation
+#: time as the access time, which is the best information available.
+_ADD_ACCESSED = "ALTER TABLE entries ADD COLUMN accessed REAL NOT NULL DEFAULT 0"
+_BACKFILL_ACCESSED = "UPDATE entries SET accessed = created WHERE accessed = 0"
 
 
 class PersistentCache:
@@ -190,6 +197,11 @@ class PersistentCache:
             connection.execute("PRAGMA synchronous=NORMAL")
             connection.execute(_CREATE_TABLE)
             connection.execute(_CREATE_TARGET_INDEX)
+            try:
+                connection.execute(_ADD_ACCESSED)
+                connection.execute(_BACKFILL_ACCESSED)
+            except sqlite3.OperationalError:
+                pass  # column already present (store created at this version)
             self._connection = connection
         except (sqlite3.Error, OSError):
             # A pre-corrupted or unwritable store: degrade to a pure
@@ -296,6 +308,24 @@ class PersistentCache:
             self.stats.errors += 1
             self.stats.misses += 1
             return MISS
+        # Best-effort recency stamp for the LRU/age eviction policies; a
+        # failed stamp (lock contention) must never cost the hit.
+        try:
+            with self._lock:
+                self._connection.execute(
+                    "UPDATE entries SET accessed = ? "
+                    "WHERE layer = ? AND key = ? AND backend = ? AND limits = ? AND schema = ?",
+                    (
+                        time.time(),
+                        layer,
+                        digest,
+                        self.backend,
+                        self.limits_fingerprint,
+                        self.schema_version,
+                    ),
+                )
+        except sqlite3.Error:
+            pass
         self.stats.hits += 1
         return value
 
@@ -407,6 +437,48 @@ class PersistentCache:
         dropped = cursor.rowcount if cursor.rowcount is not None and cursor.rowcount > 0 else 0
         self.stats.invalidated += dropped
         return dropped
+
+    def _prune(self, condition: str, parameters: tuple[Any, ...]) -> int:
+        """Delete rows matching *condition*; returns the number dropped.
+
+        Pruning is maintenance, not correctness: a pruned entry simply
+        misses on its next lookup and is recomputed, so any failure here
+        degrades to dropping nothing.
+        """
+        if self._dead or self._connection is None:
+            return 0
+        try:
+            with self._lock:
+                self._connection.execute("BEGIN IMMEDIATE")
+                try:
+                    cursor = self._connection.execute(
+                        f"DELETE FROM entries WHERE {condition}", parameters
+                    )
+                    self._connection.execute("COMMIT")
+                except BaseException:
+                    self._connection.execute("ROLLBACK")
+                    raise
+        except sqlite3.Error:
+            self.stats.errors += 1
+            return 0
+        dropped = cursor.rowcount if cursor.rowcount is not None and cursor.rowcount > 0 else 0
+        self.stats.invalidated += dropped
+        return dropped
+
+    def prune_age(self, days: float) -> int:
+        """Drop entries not accessed (nor created) within *days* days."""
+        cutoff = time.time() - days * 86400.0
+        return self._prune("MAX(accessed, created) < ?", (cutoff,))
+
+    def prune_lru(self, keep: int) -> int:
+        """Keep only the *keep* most recently accessed entries."""
+        if keep < 0:
+            keep = 0
+        return self._prune(
+            "rowid NOT IN (SELECT rowid FROM entries "
+            "ORDER BY MAX(accessed, created) DESC, rowid DESC LIMIT ?)",
+            (keep,),
+        )
 
     def vacuum(self) -> bool:
         """Checkpoint the WAL and compact the store file."""

@@ -308,7 +308,7 @@ class Session:
             value=value,
             verdict=verdict,
             certificate=certificate,
-            elapsed=elapsed,
+            elapsed=elapsed,  # lint: disable=determinism-taint -- elapsed is timing metadata by design; it is excluded from digests, verdicts, and certificates
             cache=cache,
         )
 

@@ -381,9 +381,9 @@ def _campaign_worker_init(spec) -> None:
     try:
         context = spec.build().activate()
         context.__enter__()
-        _WORKER_SESSION_CONTEXT = context
+        _WORKER_SESSION_CONTEXT = context  # lint: disable=fork-shared-state -- deliberate per-worker state installed by the campaign initializer inside the worker; the parent never reads it
     except BaseException as error:  # noqa: BLE001 - workers must reach their tasks
-        _WORKER_INIT_ERROR = repr(error)
+        _WORKER_INIT_ERROR = repr(error)  # lint: disable=fork-shared-state -- deliberate per-worker error capture inside the worker; surfaced via campaign results, not the parent module
 
 
 @dataclass

@@ -1,0 +1,96 @@
+"""Seeded-defect corpus for the ``determinism-taint`` analyzer.
+
+Every ``bad_*`` function contains exactly one ground-truth defect the
+analyzer must report; every ``clean_*`` function is a nearby pattern it
+must stay silent on.  ``test_taint.py`` asserts the finding set matches
+the ``bad_*`` names exactly — no more, no less.
+
+The module is analyzed as *source*, never imported by the engine, so the
+free names (``persistent_digest``, ``Outcome``, ...) only need to look
+like the real sinks.
+"""
+
+import json
+import os
+import time
+
+from repro.core.certificates import ContainmentCounterexample
+from repro.engine.fingerprints import persistent_digest
+from repro.session.outcome import Outcome
+
+
+# --------------------------------------------------------------------------- #
+# Known-bad: captured iteration order / identity / environment / time
+# reaching a sink.
+# --------------------------------------------------------------------------- #
+def bad_list_of_set_into_digest(atoms: frozenset):
+    ordered = list(atoms)  # captures hash order
+    return persistent_digest(ordered)
+
+
+def bad_loop_append_into_json(names):
+    collected = []
+    for name in {n.lower() for n in names}:  # nondeterministic order
+        collected.append(name)
+    return json.dumps(collected)
+
+
+def bad_id_into_digest(plan):
+    return persistent_digest(id(plan))
+
+
+def bad_env_into_outcome(request, value):
+    tag = os.environ.get("REPRO_TAG", "")
+    return Outcome(request=request, value=value, verdict=True, certificate=tag)
+
+
+def bad_time_into_certificate(bag):
+    stamp = time.time()
+    return ContainmentCounterexample(
+        probe=(stamp,), bag=bag, containee_multiplicity=1, containing_multiplicity=0
+    )
+
+
+def bad_branch_only_taint(atoms: set, flag):
+    if flag:
+        ordered = list(atoms)  # tainted on this branch only
+    else:
+        ordered = sorted(atoms)
+    return json.dumps(ordered)  # may-taint: still a defect
+
+
+# --------------------------------------------------------------------------- #
+# Known-clean: the same shapes with a sanitizer (or no real flow).
+# --------------------------------------------------------------------------- #
+def clean_sorted_into_digest(atoms: frozenset):
+    ordered = sorted(atoms)
+    return persistent_digest(ordered)
+
+
+def clean_sorted_loop_into_json(names):
+    collected = []
+    for name in sorted({n.lower() for n in names}):
+        collected.append(name)
+    return json.dumps(collected)
+
+
+def clean_raw_set_into_digest(atoms: set):
+    # persistent_digest canonicalises containers itself; handing it the
+    # set directly (no captured order) is the blessed pattern.
+    return persistent_digest(frozenset(atoms))
+
+
+def clean_aggregate_into_json(names):
+    return json.dumps({"count": len({n.lower() for n in names})})
+
+
+def clean_rebound_before_sink(atoms: set):
+    ordered = list(atoms)  # tainted...
+    ordered = sorted(atoms)  # ...but rebound before the sink
+    return persistent_digest(ordered)
+
+
+def clean_sort_method_sanitizes(atoms: set):
+    ordered = list(atoms)
+    ordered.sort()
+    return json.dumps(ordered)

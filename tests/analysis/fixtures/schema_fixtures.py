@@ -1,0 +1,208 @@
+"""Seeded layout variants for the persist-schema drift detector.
+
+Each variant is the *source* of a module defining a persisted root type
+``Payload`` (plus a nested ``Detail`` it references).  ``test_schema_lock``
+materialises the baseline, writes a lock, then materialises every variant
+under the same module name and asserts: every ``DRIFT_VARIANTS`` entry
+changes the structural fingerprint (so an un-bumped ``SCHEMA_VERSION``
+fails the check) and every ``CLEAN_VARIANTS`` entry leaves it untouched
+(methods, docstrings, defaults and properties are not pickled layout).
+"""
+
+BASELINE = '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+'''
+
+DRIFT_VARIANTS = {
+    "field-added": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+    extra: float = 0.0
+''',
+    "field-removed": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    detail: Detail
+''',
+    "field-retyped": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: str
+    detail: Detail
+''',
+    "field-reordered": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    count: int
+    name: str
+    detail: Detail
+''',
+    "nested-type-drift": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+''',
+}
+
+CLEAN_VARIANTS = {
+    "method-added": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+
+    def describe(self):
+        return f"{self.name} x{self.count}"
+''',
+    "docstring-changed": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    """A completely different docstring."""
+
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+''',
+    "default-changed": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+
+
+_UNRELATED_DEFAULT = 42
+''',
+    "property-added": '''
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+
+    @property
+    def label(self):
+        return self.name
+''',
+    "classvar-helper-added": '''
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Detail:
+    tag: str
+    weight: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    name: str
+    count: int
+    detail: Detail
+
+    FORMAT: typing.ClassVar[str] = "v1"
+''',
+}

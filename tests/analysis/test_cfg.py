@@ -1,0 +1,245 @@
+"""Structural tests for the per-function CFG builder."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    function = tree.body[0]
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(function)
+
+
+def block_of(cfg, statement_type):
+    """The first block holding a statement of the given AST type."""
+    for block in cfg.blocks:
+        if any(isinstance(statement, statement_type) for statement in block.statements):
+            return block
+    raise AssertionError(f"no block holds a {statement_type.__name__}")
+
+
+def reachable(cfg):
+    seen = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        index = frontier.pop()
+        for successor in cfg.blocks[index].successors:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+class TestStraightLine:
+    def test_single_block_flows_to_exit(self):
+        cfg = cfg_of("""
+        def f(a):
+            b = a + 1
+            return b
+        """)
+        entry = cfg.blocks[cfg.entry]
+        assert cfg.exit in entry.successors
+        assert [type(s).__name__ for s in entry.statements] == ["Assign", "Return"]
+
+    def test_statements_after_return_are_unreachable(self):
+        cfg = cfg_of("""
+        def f(a):
+            return a
+            b = 1
+        """)
+        dead = block_of(cfg, ast.Assign)
+        assert dead.index not in reachable(cfg)
+
+
+class TestBranches:
+    def test_if_forks_and_rejoins(self):
+        cfg = cfg_of("""
+        def f(a):
+            if a:
+                x = 1
+            else:
+                x = 2
+            return x
+        """)
+        header = block_of(cfg, ast.If)
+        assert len(header.successors) == 2
+        join = block_of(cfg, ast.Return)
+        preds = cfg.predecessors()[join.index]
+        assert len(preds) == 2
+
+    def test_if_without_else_edges_past_the_body(self):
+        cfg = cfg_of("""
+        def f(a):
+            if a:
+                x = 1
+            return a
+        """)
+        header = block_of(cfg, ast.If)
+        join = block_of(cfg, ast.Return)
+        assert join.index in header.successors
+
+
+class TestLoops:
+    def test_loop_head_has_back_edge_and_exit_edge(self):
+        cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                use(item)
+            return 0
+        """)
+        head = block_of(cfg, ast.For)
+        after = block_of(cfg, ast.Return)
+        body = block_of(cfg, ast.Expr)
+        assert after.index in head.successors
+        assert head.index in body.successors  # back edge from the body
+
+    def test_body_blocks_record_their_loop_head(self):
+        cfg = cfg_of("""
+        def f(items):
+            for item in items:
+                use(item)
+            x = done()
+        """)
+        head = block_of(cfg, ast.For)
+        body = block_of(cfg, ast.Expr)
+        after = block_of(cfg, ast.Assign)
+        assert head.index in body.loop_heads
+        assert head.index not in after.loop_heads
+
+    def test_break_edges_to_after_continue_to_head(self):
+        cfg = cfg_of("""
+        def f(items):
+            while True:
+                if flag():
+                    break
+                continue
+            return 1
+        """)
+        head = block_of(cfg, ast.While)
+        after = block_of(cfg, ast.Return)
+        break_block = block_of(cfg, ast.Break)
+        continue_block = block_of(cfg, ast.Continue)
+        assert after.index in break_block.successors
+        assert head.index in continue_block.successors
+
+    def test_nested_loops_stack_their_heads(self):
+        cfg = cfg_of("""
+        def f(rows):
+            for row in rows:
+                for cell in row:
+                    use(cell)
+        """)
+        inner_body = block_of(cfg, ast.Expr)
+        assert len(inner_body.loop_heads) == 2
+
+
+class TestTry:
+    def test_every_try_block_reaches_every_handler(self):
+        cfg = cfg_of("""
+        def f(a):
+            try:
+                x = risky(a)
+                y = riskier(x)
+            except ValueError:
+                y = 0
+            except KeyError:
+                y = 1
+            return y
+        """)
+        handler_entries = [
+            block.index
+            for block in cfg.blocks
+            if any(isinstance(s, ast.excepthandler) for s in block.statements)
+        ]
+        assert len(handler_entries) == 2
+        # Both suite statements (in their own blocks) reach both handlers.
+        suite_blocks = [
+            block
+            for block in cfg.blocks
+            if any(
+                isinstance(s, ast.Assign)
+                and isinstance(s.value, ast.Call)
+                and isinstance(s.value.func, ast.Name)
+                and s.value.func.id in ("risky", "riskier")
+                for s in block.statements
+            )
+        ]
+        assert len(suite_blocks) == 2
+        for suite_block in suite_blocks:
+            for handler_entry in handler_entries:
+                assert handler_entry in suite_block.successors
+
+    def test_handler_binds_name_via_marker(self):
+        cfg = cfg_of("""
+        def f(a):
+            try:
+                x = risky(a)
+            except ValueError as error:
+                x = str(error)
+            return x
+        """)
+        marker = block_of(cfg, ast.excepthandler)
+        handler = next(
+            s for s in marker.statements if isinstance(s, ast.excepthandler)
+        )
+        assert handler.name == "error"
+
+    def test_raise_edges_to_handlers_and_exit(self):
+        cfg = cfg_of("""
+        def f(a):
+            try:
+                raise ValueError(a)
+            except ValueError:
+                return 0
+        """)
+        raise_block = block_of(cfg, ast.Raise)
+        marker = block_of(cfg, ast.excepthandler)
+        assert marker.index in raise_block.successors
+        assert cfg.exit in raise_block.successors
+
+
+class TestWithAndMatch:
+    def test_with_is_inline(self):
+        cfg = cfg_of("""
+        def f(path):
+            with open(path) as handle:
+                data = handle.read()
+            return data
+        """)
+        header = block_of(cfg, ast.With)
+        assert any(isinstance(s, ast.Assign) for s in header.statements)
+
+    def test_match_forks_per_case_and_falls_through(self):
+        cfg = cfg_of("""
+        def f(value):
+            match value:
+                case 0:
+                    r = "zero"
+                case _:
+                    r = "other"
+            return r
+        """)
+        header = block_of(cfg, ast.Match)
+        assert len(header.successors) == 3  # two cases + fall-through
+
+    def test_describe_renders_every_block(self):
+        cfg = cfg_of("""
+        def f(a):
+            return a
+        """)
+        text = cfg.describe()
+        assert text.startswith("cfg entry=")
+        assert all(f"B{block.index} " in text for block in cfg.blocks)
+
+
+class TestModuleRoot:
+    def test_module_body_builds_a_cfg(self):
+        tree = ast.parse("x = 1\nfor i in range(3):\n    x += i\n")
+        cfg = build_cfg(tree)
+        assert cfg.root is tree
+        head = block_of(cfg, ast.For)
+        body = block_of(cfg, ast.AugAssign)
+        assert head.index in body.successors  # back edge

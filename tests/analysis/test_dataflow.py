@@ -1,0 +1,140 @@
+"""Behavioural tests for the generic forward may-dataflow framework."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import join, run_analysis
+
+TAINT = frozenset({"t"})
+EMPTY = frozenset()
+
+
+class NameTaint:
+    """A tiny concrete analysis: ``source()`` taints, ``clean()`` cleans,
+    ``sink(x)`` observes whether x is tainted at that point."""
+
+    def initial_state(self, cfg):
+        return {}
+
+    def _eval(self, node, state):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "source":
+                return TAINT
+            if node.func.id == "clean":
+                return EMPTY
+            combined = frozenset()
+            for argument in node.args:
+                combined |= self._eval(argument, state)
+            return combined
+        if isinstance(node, ast.Name):
+            return state.get(node.id, EMPTY)
+        return EMPTY
+
+    def transfer(self, statement, state, block):
+        if isinstance(statement, ast.Assign):
+            value = self._eval(statement.value, state)
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    state[target.id] = value
+
+    def observe(self, statement, state, block):
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call):
+            call = statement.value
+            if isinstance(call.func, ast.Name) and call.func.id == "sink":
+                for argument in call.args:
+                    if self._eval(argument, state):
+                        yield call.lineno
+
+
+def tainted_sink_lines(source):
+    tree = ast.parse(textwrap.dedent(source))
+    function = tree.body[0]
+    cfg = build_cfg(function)
+    return sorted(run_analysis(cfg, NameTaint()))
+
+
+class TestJoin:
+    def test_join_is_pointwise_union(self):
+        merged = join([{"a": frozenset({"x"})}, {"a": frozenset({"y"}), "b": TAINT}])
+        assert merged == {"a": frozenset({"x", "y"}), "b": TAINT}
+
+    def test_join_of_nothing_is_bottom(self):
+        assert join([]) == {}
+
+
+class TestFlowSensitivity:
+    def test_straight_line_taint_reaches_sink(self):
+        assert tainted_sink_lines("""
+        def f():
+            x = source()
+            sink(x)
+        """) == [4]
+
+    def test_rebinding_kills_taint(self):
+        assert tainted_sink_lines("""
+        def f():
+            x = source()
+            x = clean()
+            sink(x)
+        """) == []
+
+    def test_sink_before_source_is_clean(self):
+        assert tainted_sink_lines("""
+        def f():
+            x = clean()
+            sink(x)
+            x = source()
+        """) == []
+
+    def test_branch_taint_joins_as_may(self):
+        assert tainted_sink_lines("""
+        def f(flag):
+            if flag:
+                x = source()
+            else:
+                x = clean()
+            sink(x)
+        """) == [7]
+
+    def test_both_branches_clean_is_clean(self):
+        assert tainted_sink_lines("""
+        def f(flag):
+            if flag:
+                x = clean()
+            else:
+                x = clean()
+            sink(x)
+        """) == []
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        # y picks up taint only on the second iteration: x is tainted at
+        # the end of iteration one, so the back edge must propagate it.
+        assert tainted_sink_lines("""
+        def f(items):
+            x = clean()
+            y = clean()
+            for item in items:
+                y = x
+                x = source()
+            sink(y)
+        """) == [8]
+
+    def test_taint_through_derived_assignment(self):
+        assert tainted_sink_lines("""
+        def f():
+            x = source()
+            y = combine(x)
+            sink(y)
+        """) == [5]
+
+    def test_exception_path_taint_survives(self):
+        assert tainted_sink_lines("""
+        def f():
+            x = clean()
+            try:
+                x = source()
+                x = clean()
+            except ValueError:
+                sink(x)
+        """) == [8]

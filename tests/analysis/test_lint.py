@@ -205,6 +205,9 @@ class TestRepoIsClean:
             "global-mutable-state",
             "internal-shim-call",
             "bare-except",
+            "determinism-taint",
+            "fork-unpicklable",
+            "fork-shared-state",
         }
 
     def test_repro_package_tree_is_lint_clean(self):

@@ -1,0 +1,168 @@
+"""The determinism-taint analyzer against its seeded-defect corpus.
+
+The fixture module holds ``bad_*`` functions (each with exactly one
+ground-truth defect) and ``clean_*`` functions (nearby patterns that must
+stay silent).  The corpus test asserts the set of functions with findings
+is exactly the ``bad_*`` set — no false negatives, no false positives.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.taint import analyze_module
+
+FIXTURE = Path(__file__).parent / "fixtures" / "det_fixtures.py"
+
+
+def functions_with_findings(tree):
+    """Map each finding line to its enclosing top-level function name."""
+    spans = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans[node.name] = (node.lineno, node.end_lineno)
+    flagged = set()
+    for line, _message in analyze_module(tree):
+        owners = [
+            name for name, (start, end) in spans.items() if start <= line <= end
+        ]
+        assert owners, f"finding at line {line} outside every fixture function"
+        flagged.add(owners[0])
+    return flagged
+
+
+def findings_of(source):
+    return list(analyze_module(ast.parse(textwrap.dedent(source))))
+
+
+class TestSeededCorpus:
+    def test_exactly_the_bad_fixtures_are_reported(self):
+        tree = ast.parse(FIXTURE.read_text(encoding="utf-8"))
+        names = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        bad = {name for name in names if name.startswith("bad_")}
+        clean = {name for name in names if name.startswith("clean_")}
+        assert len(bad) >= 5 and len(clean) >= 5  # corpus floor from the issue
+        assert functions_with_findings(tree) == bad
+
+
+class TestSourcesAndKinds:
+    def test_captured_set_order_is_reported(self):
+        findings = findings_of("""
+        def f(s: set):
+            xs = list(s)
+            return persistent_digest(xs)
+        """)
+        assert len(findings) == 1
+        assert "iteration-order" in findings[0][1]
+
+    def test_identity_is_reported(self):
+        findings = findings_of("""
+        def f(x):
+            return persistent_digest(id(x))
+        """)
+        assert len(findings) == 1
+        assert "identity" in findings[0][1]
+
+    def test_environment_read_is_reported(self):
+        findings = findings_of("""
+        import os
+        def f(request, value):
+            tag = os.environ["TAG"]
+            return Outcome(request=request, value=value, certificate=tag)
+        """)
+        assert len(findings) == 1
+        assert "environment" in findings[0][1]
+
+    def test_time_is_reported(self):
+        findings = findings_of("""
+        import time
+        def f():
+            return json.dumps({"at": time.time()})
+        """)
+        assert len(findings) == 1
+        assert "time" in findings[0][1]
+
+
+class TestSanitizers:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "xs = sorted(s)\n    return persistent_digest(xs)",
+            "return persistent_digest(s)",  # raw set: digest canonicalises
+            "return json.dumps(len(s))",  # aggregation strips order
+            "xs = list(s)\n    xs.sort()\n    return json.dumps(xs)",
+            "xs = list(s)\n    xs = sorted(s)\n    return json.dumps(xs)",
+        ],
+    )
+    def test_sanitized_flows_are_clean(self, body):
+        assert findings_of(f"def f(s: set):\n    {body}\n") == []
+
+    def test_loop_over_sorted_set_is_clean(self):
+        assert findings_of("""
+        def f(s):
+            out = []
+            for item in sorted(s):
+                out.append(item)
+            return json.dumps(out)
+        """) == []
+
+    def test_loop_over_raw_set_captures_order(self):
+        findings = findings_of("""
+        def f(s):
+            out = []
+            for item in s | {1}:
+                out.append(item)
+            return json.dumps(out)
+        """)
+        assert len(findings) == 1
+
+
+class TestFlowSensitivity:
+    def test_taint_on_one_branch_is_still_reported(self):
+        findings = findings_of("""
+        def f(s: set, flag):
+            if flag:
+                xs = list(s)
+            else:
+                xs = sorted(s)
+            return json.dumps(xs)
+        """)
+        assert len(findings) == 1
+
+    def test_sanitized_on_all_branches_is_clean(self):
+        assert findings_of("""
+        def f(s, flag):
+            if flag:
+                xs = sorted(s)
+            else:
+                xs = sorted(s, reverse=True)
+            return json.dumps(xs)
+        """) == []
+
+    def test_sink_without_flow_is_clean(self):
+        assert findings_of("""
+        def f(s: set):
+            xs = list(s)  # tainted but never reaches the sink
+            return json.dumps("constant")
+        """) == []
+
+    def test_nested_function_scopes_are_analyzed(self):
+        findings = findings_of("""
+        def outer(s):
+            def inner(t: set):
+                return persistent_digest(list(t))
+            return inner
+        """)
+        assert len(findings) == 1
+
+    def test_non_json_dumps_is_not_a_sink(self):
+        assert findings_of("""
+        def f(s: set, codec):
+            return codec.dumps(list(s))
+        """) == []

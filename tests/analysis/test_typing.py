@@ -17,6 +17,11 @@ STRICT_MODULES = (
     "repro.engine.persist",
     "repro.parallel",
     "repro.session.requests",
+    "repro.analysis.cfg",
+    "repro.analysis.dataflow",
+    "repro.analysis.taint",
+    "repro.analysis.forksafety",
+    "repro.analysis.schema_lock",
 )
 
 

@@ -281,3 +281,117 @@ class TestSchemaBumpStory:
             new.store("results", key, "the new layout")
             assert new.load("results", key) == "the new layout"
             assert sorted(new.info()["schemas"]) == [1, 2]
+
+
+class TestPruning:
+    """``prune_age`` / ``prune_lru``: pruned rows read as misses, never errors."""
+
+    @staticmethod
+    def memo_key(index):
+        return ("session", ("memo", index))
+
+    def seeded(self, tmp_path, count=5):
+        store = PersistentCache(tmp_path / "store.db")
+        for index in range(count):
+            assert store.store("results", self.memo_key(index), index)
+        return store
+
+    def test_prune_lru_keeps_the_most_recently_used(self, tmp_path):
+        store = self.seeded(tmp_path)
+        # Touch two entries so their access time outranks the others.
+        assert store.load("results", self.memo_key(1)) == 1
+        assert store.load("results", self.memo_key(3)) == 3
+        assert store.prune_lru(2) == 3
+        survivors = {
+            index
+            for index in range(5)
+            if store.load("results", self.memo_key(index)) is not MISS
+        }
+        assert survivors == {1, 3}
+        assert store.stats.errors == 0  # pruned rows are misses, not failures
+        assert store.stats.invalidated == 3
+        store.close()
+
+    def test_prune_lru_with_enough_room_drops_nothing(self, tmp_path):
+        store = self.seeded(tmp_path)
+        assert store.prune_lru(10) == 0
+        assert store.info()["entries"] == 5
+        store.close()
+
+    def test_prune_age_drops_only_stale_rows(self, tmp_path):
+        store = self.seeded(tmp_path)
+        # Backdate two rows a week; everything else was written just now.
+        week = 7 * 86400.0
+        with store._lock:
+            store._connection.execute(
+                "UPDATE entries SET created = created - ?, accessed = 0 "
+                "WHERE rowid IN (1, 2)",
+                (week,),
+            )
+        assert store.prune_age(1.0) == 2
+        assert store.load("results", self.memo_key(0)) is MISS
+        assert store.load("results", self.memo_key(1)) is MISS
+        assert store.load("results", self.memo_key(2)) == 2
+        assert store.stats.errors == 0
+        store.close()
+
+    def test_recent_access_rescues_an_old_row_from_age_pruning(self, tmp_path):
+        store = self.seeded(tmp_path, count=2)
+        week = 7 * 86400.0
+        with store._lock:
+            store._connection.execute(
+                "UPDATE entries SET created = created - ?", (week,)
+            )
+        # A fresh hit stamps the access time, so MAX(accessed, created)
+        # keeps the touched row inside the window.
+        assert store.load("results", self.memo_key(0)) == 0
+        assert store.prune_age(1.0) == 1
+        assert store.load("results", self.memo_key(0)) == 0
+        assert store.load("results", self.memo_key(1)) is MISS
+        store.close()
+
+    def test_prune_on_a_dead_store_is_a_counted_noop(self, tmp_path):
+        path = tmp_path / "store.db"
+        path.write_text("this is not sqlite")
+        store = PersistentCache(path)
+        assert store.prune_age(1.0) == 0
+        assert store.prune_lru(1) == 0
+        store.close()
+
+
+class TestAccessedColumnMigration:
+    """Stores written before the ``accessed`` column still open and prune."""
+
+    def legacy_store(self, tmp_path):
+        """Build a store, then strip it back to the pre-eviction schema."""
+        path = tmp_path / "store.db"
+        with PersistentCache(path) as store:
+            assert store.store("results", ("session", ("memo",)), "value")
+        with sqlite3.connect(path) as raw:
+            raw.execute("ALTER TABLE entries DROP COLUMN accessed")
+        return path
+
+    def test_reopening_migrates_and_backfills(self, tmp_path):
+        path = self.legacy_store(tmp_path)
+        with PersistentCache(path) as store:
+            assert store.load("results", ("session", ("memo",))) == "value"
+            with store._lock:
+                row = store._connection.execute(
+                    "SELECT accessed, created FROM entries"
+                ).fetchone()
+            # Backfilled access times start at the creation time (then move
+            # forward as hits stamp them).
+            assert row[0] >= row[1] > 0
+
+    def test_migrated_store_prunes_by_age(self, tmp_path):
+        path = self.legacy_store(tmp_path)
+        with PersistentCache(path) as store:
+            assert store.prune_age(1.0) == 0  # created just now: kept
+            with store._lock:
+                store._connection.execute(
+                    "UPDATE entries SET created = created - ?, accessed = 0",
+                    (7 * 86400.0,),
+                )
+            assert store.prune_age(1.0) == 1
+            assert store.load("results", ("session", ("memo",))) is MISS
+            assert store.stats.errors == 0

@@ -372,3 +372,133 @@ class TestLint:
         captured = capsys.readouterr()
         assert code == 2
         assert "error:" in captured.err
+
+    def test_timing_line_is_printed_in_normal_mode(self, capsys, tmp_path):
+        clean = tmp_path / "module.py"
+        clean.write_text("def f():\n    return 1\n")
+        code = main(["lint", str(clean)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "one parse per file" in captured.out
+
+    def test_timing_line_goes_to_stderr_in_check_mode(self, capsys, tmp_path):
+        clean = tmp_path / "module.py"
+        clean.write_text("def f():\n    return 1\n")
+        code = main(["lint", "--check", str(clean)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+        assert "one parse per file" in captured.err
+
+
+class TestAnalyze:
+    def test_repo_tree_is_clean_in_check_mode(self, capsys):
+        code = main(["analyze", "--check", "src/repro"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""
+        assert "one parse per file" in captured.err
+
+    def test_seeded_defect_is_reported_and_exits_one(self, capsys, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text(
+            "import json\n"
+            "def f(s: set):\n"
+            "    xs = list(s)\n"
+            "    return json.dumps(xs)\n"
+        )
+        code = main(["analyze", "--no-schema-lock", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[determinism-taint]" in captured.out
+
+    def test_rule_filter_selects_one_analyzer(self, capsys, tmp_path):
+        bad = tmp_path / "module.py"
+        bad.write_text(
+            "import json\n"
+            "def f(s: set):\n"
+            "    xs = list(s)\n"
+            "    return json.dumps(xs)\n"
+        )
+        code = main(
+            ["analyze", "--no-schema-lock", "--rule", "fork-unpicklable", str(bad)]
+        )
+        assert code == 0  # the taint defect is outside the selected analyzer
+
+    def test_explain_prints_the_rationale(self, capsys):
+        code = main(["analyze", "--explain", "determinism-taint"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("determinism-taint:")
+        assert len(captured.out.splitlines()) > 2  # summary + extended rationale
+
+    def test_list_rules_shows_the_analyzers(self, capsys):
+        code = main(["analyze", "--list-rules"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fork-unpicklable" in captured.out
+        assert "fork-shared-state" in captured.out
+
+    def test_unknown_analyzer_is_a_clean_error(self, capsys):
+        code = main(["analyze", "--rule", "no-such-analyzer", "src/repro"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_write_schema_lock_round_trips(self, capsys, tmp_path):
+        lock = tmp_path / "persist-schema.lock"
+        clean = tmp_path / "module.py"
+        clean.write_text("def f():\n    return 1\n")
+        code = main(["analyze", "--write-schema-lock", "--schema-lock", str(lock)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "schema lock written" in captured.out
+        assert lock.exists()
+        code = main(["analyze", "--schema-lock", str(lock), str(clean)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "lock matches" in captured.out
+
+    def test_missing_schema_lock_fails_the_check(self, capsys, tmp_path):
+        clean = tmp_path / "module.py"
+        clean.write_text("def f():\n    return 1\n")
+        code = main(["analyze", "--schema-lock", str(tmp_path / "absent.lock"), str(clean)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "persist-schema:" in captured.out
+
+
+class TestCacheVacuum:
+    @staticmethod
+    def _seeded_store(tmp_path):
+        from repro.engine.persist import PersistentCache
+
+        path = tmp_path / "store.db"
+        store = PersistentCache(path)
+        for index in range(5):
+            assert store.store("results", ("session", f"memo-{index}"), {"n": index})
+        store.close()
+        return path
+
+    def test_prune_lru_keeps_the_requested_entries(self, capsys, tmp_path):
+        path = self._seeded_store(tmp_path)
+        code = main(["cache", "vacuum", str(path), "--prune-lru", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "3 entries pruned, vacuumed" in captured.out
+        assert main(["cache", "info", str(path)]) == 0
+        assert "entries: 2" in capsys.readouterr().out
+
+    def test_prune_age_zero_days_drops_everything(self, capsys, tmp_path):
+        path = self._seeded_store(tmp_path)
+        code = main(["cache", "vacuum", str(path), "--prune-age", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "5 entries pruned, vacuumed" in captured.out
+
+    def test_prune_flags_reject_other_actions(self, capsys, tmp_path):
+        path = self._seeded_store(tmp_path)
+        code = main(["cache", "info", str(path), "--prune-lru", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "only apply to the vacuum action" in captured.err
