@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.engine.plan import _CONST, MatchPlan
+from repro.faults.runtime import TICK_INTERVAL, tick_handle
 from repro.relational.substitutions import Substitution
 from repro.relational.terms import Term, Variable
 
@@ -93,7 +94,17 @@ def _solutions(
 
     start(0)
     depth = 0
+    # Deadline/fault tick: one falsy integer test per iteration when no
+    # deadline and no fault plan are armed (tick is then None, countdown 0).
+    tick = tick_handle()
+    countdown = TICK_INTERVAL if tick is not None else 0
     while depth >= 0:
+        if countdown:
+            countdown -= 1
+            if not countdown:
+                assert tick is not None
+                tick()
+                countdown = TICK_INTERVAL
         step = steps[depth]
         new_var_positions = step.new_var_positions
         descended = False

@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, Mapping
 from repro.engine.executor import ExecutionStats, _Run
 from repro.engine.interning import ID_BITS, InternedTarget, TermDictionary
 from repro.engine.plan import greedy_order
+from repro.faults.runtime import TICK_INTERVAL, tick_handle
 from repro.exceptions import ReproError
 from repro.relational.atoms import Atom
 from repro.relational.substitutions import Substitution
@@ -349,7 +350,17 @@ def _solutions(plan: InternedPlan, binding: list[int], run: _Run) -> Iterator[li
 
         depth = 0
         entering = True
+        # Deadline/fault tick: one falsy integer test per iteration when no
+        # deadline and no fault plan are armed (tick is then None).
+        tick = tick_handle()
+        countdown = TICK_INTERVAL if tick is not None else 0
         while depth >= 0:
+            if countdown:
+                countdown -= 1
+                if not countdown:
+                    assert tick is not None
+                    tick()
+                    countdown = TICK_INTERVAL
             step = steps[depth]
             new_ops = step.new_ops
             if entering:

@@ -46,21 +46,36 @@ transactions let parallel workers share one store: readers never block on
 the writer, writers queue behind a busy timeout, and a worker that loses
 the race simply recomputes.  One connection per :class:`PersistentCache`,
 guarded by a lock, so a session can be driven from multiple threads.
+
+**Resilience.**  Transient ``SQLITE_BUSY``-class failures are retried a
+bounded number of times with jittered exponential backoff
+(``stats.retries``); persistent failures trip a :class:`CircuitBreaker`
+that short-circuits the store for a cooldown period
+(``stats.breaker_skipped`` counts the skipped round-trips) while the
+session keeps serving from the in-memory tier.  A half-open probe
+re-enables the store after the cooldown.  The named fault-injection sites
+``persist.connect`` / ``persist.load`` / ``persist.store``
+(:mod:`repro.faults`) exercise exactly these paths deterministically.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import random
 import sqlite3
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable, TypeVar
 
 from repro.engine.fingerprints import UnpersistableKeyError, persistent_digest
+from repro.faults.plan import check as _fault_check
 
-__all__ = ["MISS", "PersistStats", "PersistentCache", "SCHEMA_VERSION"]
+__all__ = ["MISS", "CircuitBreaker", "PersistStats", "PersistentCache", "SCHEMA_VERSION"]
+
+_T = TypeVar("_T")
 
 
 class _Miss:
@@ -101,6 +116,8 @@ class PersistStats:
     errors: int = 0
     skipped: int = 0
     invalidated: int = 0
+    retries: int = 0
+    breaker_skipped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -115,7 +132,88 @@ class PersistStats:
         return (
             f"{self.hits} hits / {self.misses} misses ({self.hit_rate:.0%}), "
             f"{self.stores} stored, {self.errors} errors, "
-            f"{self.skipped} skipped, {self.invalidated} invalidated"
+            f"{self.skipped} skipped, {self.invalidated} invalidated, "
+            f"{self.retries} retries, {self.breaker_skipped} breaker-skipped"
+        )
+
+
+#: Bounded retries for transient (SQLITE_BUSY-class) failures, with
+#: jittered exponential backoff starting at ``_RETRY_BASE_DELAY`` seconds.
+_RETRY_LIMIT = 3
+_RETRY_BASE_DELAY = 0.002
+
+
+def _is_transient(error: sqlite3.OperationalError) -> bool:
+    """Is this a busy/locked-class failure worth retrying?"""
+    text = str(error).lower()
+    return "locked" in text or "busy" in text
+
+
+class CircuitBreaker:
+    """A closed → open → half-open breaker guarding the persist tier.
+
+    ``record_failure`` after ``threshold`` *consecutive* failures (or any
+    half-open probe failure) opens the breaker; while open, :meth:`allow`
+    short-circuits store round-trips until ``cooldown`` seconds elapse,
+    then admits one half-open probe whose success closes the breaker.
+    State transitions are appended to :attr:`history` (bounded) with
+    monotonic timestamps for reporting.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 1.0) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be positive, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"breaker cooldown must be non-negative, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.half_opens = 0
+        self.closes = 0
+        self._opened_at = 0.0
+        self.history: list[tuple[str, float]] = []
+
+    @property
+    def transitions(self) -> tuple[str, ...]:
+        """The state-transition sequence (no timestamps), oldest first."""
+        return tuple(state for state, _ in self.history)
+
+    def allow(self) -> bool:
+        """May the caller attempt a store round-trip right now?"""
+        if self.state == "open":
+            if time.monotonic() - self._opened_at < self.cooldown:
+                return False
+            self._transition("half-open")
+            self.half_opens += 1
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            self._transition("closed")
+            self.closes += 1
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed" and self.consecutive_failures >= self.threshold
+        ):
+            self._transition("open")
+            self.opens += 1
+        if self.state == "open":
+            self._opened_at = time.monotonic()
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.history.append((state, time.monotonic()))
+        del self.history[:-64]
+
+    def describe(self) -> str:
+        return (
+            f"breaker {self.state} ({self.opens} opens, "
+            f"{self.half_opens} half-opens, {self.closes} closes)"
         )
 
 
@@ -159,6 +257,10 @@ class PersistentCache:
         session's :class:`~repro.session.Limits`.
     schema_version:
         Overridable for tests; defaults to :data:`SCHEMA_VERSION`.
+    breaker_threshold / breaker_cooldown:
+        Circuit-breaker tuning (consecutive failures to open; seconds
+        before the half-open probe).  The defaults suit production; tests
+        and chaos campaigns shrink them.
     """
 
     def __init__(
@@ -167,22 +269,59 @@ class PersistentCache:
         backend: str = "indexed",
         limits_fingerprint: str = "",
         schema_version: int = SCHEMA_VERSION,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
     ) -> None:
         self.path = Path(path)
         self.backend = backend
         self.limits_fingerprint = limits_fingerprint
         self.schema_version = int(schema_version)
         self.stats = PersistStats()
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
+        # Jitter decorrelates concurrent processes' backoff schedules; it
+        # only shapes sleep durations, never any persisted value.
+        self._jitter = random.Random(os.getpid())
         self._lock = threading.Lock()
         self._connection: sqlite3.Connection | None = None
         self._dead = False
         self._open()
 
     # ------------------------------------------------------------------ #
+    # Resilience helpers: injection, retries
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _inject(site: str) -> None:
+        """Apply an armed fault at *site* (no-op when no plan is armed)."""
+        rule = _fault_check(site)
+        if rule is None:
+            return
+        if rule.action == "latency":
+            time.sleep(rule.delay_ms / 1000.0)
+            return
+        if rule.action == "busy":
+            raise sqlite3.OperationalError(f"database is locked (injected at {site})")
+        raise sqlite3.OperationalError(f"disk I/O error (injected at {site})")
+
+    def _with_retries(self, operation: Callable[[], _T]) -> _T:
+        """Run *operation*, retrying transient failures with jittered backoff."""
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except sqlite3.OperationalError as error:
+                if not _is_transient(error) or attempt >= _RETRY_LIMIT:
+                    raise
+                self.stats.retries += 1
+                delay = _RETRY_BASE_DELAY * (2**attempt) * (0.5 + self._jitter.random())
+                time.sleep(delay)
+                attempt += 1
+
+    # ------------------------------------------------------------------ #
     # Connection lifecycle
     # ------------------------------------------------------------------ #
     def _open(self) -> None:
         try:
+            self._inject("persist.connect")
             self.path.parent.mkdir(parents=True, exist_ok=True)
             connection = sqlite3.connect(
                 str(self.path),
@@ -288,17 +427,30 @@ class PersistentCache:
         if self._dead or self._connection is None:
             self.stats.misses += 1
             return MISS
-        try:
+        if not self.breaker.allow():
+            self.stats.breaker_skipped += 1
+            self.stats.misses += 1
+            return MISS
+        assert self._connection is not None
+        connection: sqlite3.Connection = self._connection
+
+        def _query() -> Any:
             with self._lock:
-                row = self._connection.execute(
+                self._inject("persist.load")
+                return connection.execute(
                     "SELECT value FROM entries "
                     "WHERE layer = ? AND key = ? AND backend = ? AND limits = ? AND schema = ?",
                     (layer, digest, self.backend, self.limits_fingerprint, self.schema_version),
                 ).fetchone()
+
+        try:
+            row = self._with_retries(_query)
         except sqlite3.Error:
             self.stats.errors += 1
             self.stats.misses += 1
+            self.breaker.record_failure()
             return MISS
+        self.breaker.record_success()
         if row is None:
             self.stats.misses += 1
             return MISS
@@ -356,11 +508,34 @@ class PersistentCache:
             if target is None:  # pragma: no cover - key digested, component must too
                 return False
             target_digest = target
-        try:
+        if not self.breaker.allow():
+            self.stats.breaker_skipped += 1
+            return False
+        assert self._connection is not None
+        connection: sqlite3.Connection = self._connection
+
+        def _write() -> None:
+            # Re-checked per attempt, so a count-limited injected "busy"
+            # exhausts itself and a retry then succeeds.
+            payload = blob
+            rule = _fault_check("persist.store")
+            if rule is not None:
+                if rule.action == "latency":
+                    time.sleep(rule.delay_ms / 1000.0)
+                elif rule.action == "torn-write":
+                    payload = payload[: max(1, len(payload) // 2)]
+                elif rule.action == "busy":
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected at persist.store)"
+                    )
+                else:
+                    raise sqlite3.OperationalError(
+                        "disk I/O error (injected at persist.store)"
+                    )
             with self._lock:
-                self._connection.execute("BEGIN IMMEDIATE")
+                connection.execute("BEGIN IMMEDIATE")
                 try:
-                    self._connection.execute(
+                    connection.execute(
                         "INSERT OR REPLACE INTO entries "
                         "(layer, key, backend, limits, schema, target, value, created) "
                         "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
@@ -371,17 +546,22 @@ class PersistentCache:
                             self.limits_fingerprint,
                             self.schema_version,
                             target_digest,
-                            blob,
+                            payload,
                             time.time(),
                         ),
                     )
-                    self._connection.execute("COMMIT")
+                    connection.execute("COMMIT")
                 except BaseException:
-                    self._connection.execute("ROLLBACK")
+                    connection.execute("ROLLBACK")
                     raise
+
+        try:
+            self._with_retries(_write)
         except sqlite3.Error:
             self.stats.errors += 1
+            self.breaker.record_failure()
             return False
+        self.breaker.record_success()
         self.stats.stores += 1
         return True
 
@@ -505,6 +685,13 @@ class PersistentCache:
             "backends": [],
             "file_bytes": self.path.stat().st_size if self.path.exists() else 0,
             "stats": self.stats.describe(),
+            "breaker": {
+                "state": self.breaker.state,
+                "opens": self.breaker.opens,
+                "half_opens": self.breaker.half_opens,
+                "closes": self.breaker.closes,
+                "transitions": list(self.breaker.transitions),
+            },
         }
         if self._dead or self._connection is None:
             info["status"] = "unavailable"
@@ -532,8 +719,15 @@ class PersistentCache:
         return info
 
     def describe(self) -> str:
-        """One stats line, matching the cache layers' format."""
-        return f"{'persist':<8} {self.stats.describe()}"
+        """One stats line, matching the cache layers' format.
+
+        The breaker summary is appended only once a transition has
+        happened, so healthy-path output stays byte-stable.
+        """
+        line = f"{'persist':<8} {self.stats.describe()}"
+        if self.breaker.transitions:
+            line += f"; {self.breaker.describe()}"
+        return line
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PersistentCache({str(self.path)!r}, backend={self.backend!r})"

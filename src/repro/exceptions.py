@@ -101,9 +101,32 @@ class SessionError(ReproError):
 class ParallelError(SessionError):
     """A sharded parallel execution failed inside a worker process.
 
-    The message carries the worker-side exception's ``repr`` and traceback;
-    the original exception object itself may not be picklable, so it cannot
-    always be re-raised as-is in the parent."""
+    The message carries the worker-side exception's ``repr`` plus, when the
+    worker could attribute the failure, the index and fingerprint of the
+    failing request.  The worker's original exception (or, failing that, a
+    carrier exception holding its formatted traceback) is chained as
+    ``__cause__`` via ``raise ... from``."""
+
+
+class DeadlineExceeded(SessionError):
+    """A request exhausted its wall-clock budget (``Limits.deadline_ms``).
+
+    Raised by the engine driver loops when the monotonic clock passes the
+    request's deadline.  :class:`~repro.session.session.Session` converts it
+    into an honest degraded :class:`~repro.session.requests.Outcome`
+    (``verdict None``, ``degraded="deadline"``) instead of letting it escape.
+    """
+
+
+class FaultError(ReproError):
+    """Errors raised by the fault-injection subsystem (:mod:`repro.faults`)."""
+
+
+class FaultInjected(FaultError):
+    """An injected fault fired (crash simulation at a registered site).
+
+    Only ever raised while a :class:`~repro.faults.plan.FaultPlan` is armed;
+    production code paths never construct it spontaneously."""
 
 
 class TermIdOverflowError(ReproError):

@@ -1,0 +1,57 @@
+"""Deterministic fault injection and the hardened-runtime helpers.
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultPlan` / :class:`~repro.faults.plan.FaultRule`
+  — frozen, picklable fault schedules bound to registered sites.
+* :func:`~repro.faults.plan.use_faults` / :func:`~repro.faults.plan.check` —
+  arming and probing; sites cost one ContextVar read when unarmed.
+* :func:`~repro.faults.runtime.deadline_scope` /
+  :func:`~repro.faults.runtime.tick_handle` — wall-clock budgets polled by
+  the engine driver loops.
+* :func:`~repro.faults.chaos.run_chaos` — the seeded chaos campaign that
+  asserts every outcome under faults is correct-per-oracle or explicitly
+  degraded, never silently wrong.
+
+See ``docs/faults.md`` for the site catalogue and campaign invariants.
+"""
+
+from repro.faults.plan import (
+    SITES,
+    ActiveFaults,
+    FaultPlan,
+    FaultRule,
+    FaultSite,
+    active_faults,
+    check,
+    current_request_key,
+    request_scope,
+    site_names,
+    use_faults,
+)
+from repro.faults.runtime import (
+    TICK_INTERVAL,
+    check_deadline,
+    deadline_scope,
+    session_entry,
+    tick_handle,
+)
+
+__all__ = [
+    "SITES",
+    "TICK_INTERVAL",
+    "ActiveFaults",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "active_faults",
+    "check",
+    "check_deadline",
+    "current_request_key",
+    "deadline_scope",
+    "request_scope",
+    "session_entry",
+    "site_names",
+    "tick_handle",
+    "use_faults",
+]

@@ -1,0 +1,314 @@
+"""The fault-injection plane: sites, rules, plans, and the armed context.
+
+The subsystem is deliberately split in two halves:
+
+* **Declaration** — a :class:`FaultPlan` is a frozen, picklable value: a seed
+  plus a tuple of :class:`FaultRule` schedules, each bound to one registered
+  :class:`FaultSite`.  Because it is a plain value, ``SessionSpec`` ships it
+  to pool workers exactly like limits and cache capacities, so a chaos
+  campaign under ``jobs=2`` injects the *same* faults in every process.
+
+* **Arming** — :class:`ActiveFaults` is the mutable per-process holder built
+  from a plan: per-rule seeded RNG streams, hit/fired counters, and a fired
+  log.  It is published through a :class:`contextvars.ContextVar`, so sites
+  compile down to one context-variable read (returning ``None``) when no
+  plan is armed — the production hot path pays nothing beyond that.
+
+Determinism contract: rules that can change an outcome (worker crashes,
+deadline latency) should be **keyed** — bound to explicit absolute request
+indices via ``keys=...`` — so firing does not depend on pool scheduling.
+Probabilistic (stream-driven) rules are reserved for faults the hardened
+runtime fully absorbs (persist-tier errors), where firing order affects
+statistics but never verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import FaultError
+
+__all__ = [
+    "SITES",
+    "ActiveFaults",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSite",
+    "active_faults",
+    "check",
+    "current_request_key",
+    "request_scope",
+    "site_names",
+    "use_faults",
+]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One named injection point at an I/O or process boundary.
+
+    ``actions`` is the closed set of fault kinds the surrounding code knows
+    how to apply at this site; a rule naming any other action is rejected at
+    plan-construction time rather than silently ignored at runtime.
+    """
+
+    name: str
+    boundary: str
+    description: str
+    actions: tuple[str, ...]
+
+
+#: Every registered injection site.  ``docs/faults.md`` documents each one;
+#: keep the two in sync.
+SITES: tuple[FaultSite, ...] = (
+    FaultSite(
+        name="persist.connect",
+        boundary="sqlite",
+        description="opening the persistent store (connect + schema DDL)",
+        actions=("error", "latency"),
+    ),
+    FaultSite(
+        name="persist.load",
+        boundary="sqlite",
+        description="reading one entry from the persistent store",
+        actions=("error", "busy", "latency"),
+    ),
+    FaultSite(
+        name="persist.store",
+        boundary="sqlite",
+        description="writing one entry to the persistent store",
+        actions=("error", "busy", "torn-write", "latency"),
+    ),
+    FaultSite(
+        name="parallel.request",
+        boundary="process",
+        description="per-request execution inside a pool worker",
+        actions=("crash", "hang"),
+    ),
+    FaultSite(
+        name="session.execute",
+        boundary="session",
+        description="request admission inside Session._execute, within the deadline scope",
+        actions=("latency",),
+    ),
+    FaultSite(
+        name="executor.start",
+        boundary="engine",
+        description="start of one engine driver-loop execution",
+        actions=("latency",),
+    ),
+    FaultSite(
+        name="executor.tick",
+        boundary="engine",
+        description="periodic driver-loop tick (every N rows)",
+        actions=("latency",),
+    ),
+)
+
+
+def site_names() -> tuple[str, ...]:
+    """The registered site names, in registration order."""
+    return tuple(site.name for site in SITES)
+
+
+def _site(name: str) -> FaultSite:
+    for candidate in SITES:
+        if candidate.name == name:
+            return candidate
+    raise FaultError(
+        f"unknown fault site {name!r}; registered sites: {', '.join(site_names())}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One firing schedule bound to a site.
+
+    ``probability`` gates each eligible hit through the rule's seeded RNG
+    stream; ``after`` skips the first N hits; ``count`` caps total firings
+    (``None`` = unlimited); ``keys`` restricts the rule to explicit request
+    keys (see :func:`request_scope`) and makes firing scheduling-independent;
+    ``delay_ms`` parameterises ``latency`` and ``hang`` actions.
+    """
+
+    site: str
+    action: str
+    probability: float = 1.0
+    count: int | None = None
+    after: int = 0
+    keys: tuple[int, ...] | None = None
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        declared = _site(self.site)
+        if self.action not in declared.actions:
+            raise FaultError(
+                f"site {self.site!r} does not support action {self.action!r}; "
+                f"supported: {', '.join(declared.actions)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultError(f"probability must be within [0, 1], got {self.probability}")
+        if self.count is not None and self.count < 1:
+            raise FaultError(f"count must be positive when set, got {self.count}")
+        if self.after < 0:
+            raise FaultError(f"after must be non-negative, got {self.after}")
+        if self.delay_ms < 0:
+            raise FaultError(f"delay_ms must be non-negative, got {self.delay_ms}")
+        if self.keys is not None:
+            object.__setattr__(self, "keys", tuple(sorted(set(self.keys))))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen, picklable fault schedule: a seed plus rules.
+
+    Equality and pickling follow dataclass semantics, so a plan travels
+    inside ``SessionSpec`` to pool workers unchanged and two campaigns with
+    the same plan replay the same injected faults.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def sites(self) -> frozenset[str]:
+        return frozenset(rule.site for rule in self.rules)
+
+    def describe(self) -> str:
+        if not self.rules:
+            return "fault plan: empty"
+        parts = ", ".join(f"{rule.site}/{rule.action}" for rule in self.rules)
+        return f"fault plan: seed={self.seed} rules=[{parts}]"
+
+
+@dataclass
+class ActiveFaults:
+    """The armed, per-process state of one :class:`FaultPlan`.
+
+    Holds one seeded RNG stream per rule (stream id =
+    ``"{seed}:{rule_index}:{site}:{action}"``), hit/fired counters, and a
+    log of fired events for reporting.  Not picklable and never shared
+    across processes: each worker arms its own copy from the shipped plan.
+    """
+
+    plan: FaultPlan
+    _streams: list[random.Random] = field(default_factory=list, repr=False)
+    _hits: list[int] = field(default_factory=list, repr=False)
+    _fired: list[int] = field(default_factory=list, repr=False)
+    #: ``plan.sites`` cached once: the property rebuilds a frozenset per
+    #: call, far too expensive for the per-execution hot-path probes.
+    _sites: frozenset[str] = field(default_factory=frozenset, repr=False)
+    fired_log: list[tuple[str, str, int | None]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._sites = self.plan.sites
+        for index, rule in enumerate(self.plan.rules):
+            stream_id = f"{self.plan.seed}:{index}:{rule.site}:{rule.action}"
+            self._streams.append(random.Random(stream_id))
+            self._hits.append(0)
+            self._fired.append(0)
+
+    def watches(self, site: str) -> bool:
+        return site in self._sites
+
+    def check(self, site: str, key: int | None = None) -> FaultRule | None:
+        """Return the first rule firing at ``site`` for this hit, else None.
+
+        ``key`` defaults to the ambient request key (see
+        :func:`request_scope`); keyed rules fire only when the key matches.
+        """
+        if site not in self._sites:
+            return None
+        if key is None:
+            key = _REQUEST_KEY.get()
+        for index, rule in enumerate(self.plan.rules):
+            if rule.site != site:
+                continue
+            if rule.keys is not None and (key is None or key not in rule.keys):
+                continue
+            self._hits[index] += 1
+            if self._hits[index] <= rule.after:
+                continue
+            if rule.count is not None and self._fired[index] >= rule.count:
+                continue
+            if rule.probability < 1.0 and self._streams[index].random() >= rule.probability:
+                continue
+            self._fired[index] += 1
+            self.fired_log.append((site, rule.action, key))
+            return rule
+        return None
+
+    def fired_summary(self) -> tuple[tuple[str, str, int], ...]:
+        """Sorted ``(site, action, fired_count)`` triples for fired rules."""
+        tally: list[tuple[str, str, int]] = []
+        for index, rule in enumerate(self.plan.rules):
+            if self._fired[index]:
+                tally.append((rule.site, rule.action, self._fired[index]))
+        return tuple(sorted(tally))
+
+
+_ACTIVE: ContextVar[ActiveFaults | None] = ContextVar("repro_active_faults", default=None)
+_REQUEST_KEY: ContextVar[int | None] = ContextVar("repro_fault_request_key", default=None)
+
+
+def active_faults() -> ActiveFaults | None:
+    """The armed fault state of the current context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def check(site: str, key: int | None = None) -> FaultRule | None:
+    """Site probe: the firing rule, or ``None`` when unarmed or not firing.
+
+    This is the only call production code places at an injection site; with
+    no plan armed it is a single ContextVar read returning ``None``.
+    """
+    active = _ACTIVE.get()
+    if active is None:
+        return None
+    return active.check(site, key)
+
+
+@contextmanager
+def use_faults(plan: FaultPlan | ActiveFaults | None) -> Iterator[ActiveFaults | None]:
+    """Arm ``plan`` for the dynamic extent of the block.
+
+    Accepts a plan (armed fresh), an already-armed :class:`ActiveFaults`
+    (re-published, preserving counters across activations — this is what
+    ``Session.activate`` does), or ``None`` (no-op).
+    """
+    if plan is None:
+        yield None
+        return
+    active = plan if isinstance(plan, ActiveFaults) else ActiveFaults(plan)
+    token = _ACTIVE.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def request_scope(key: int) -> Iterator[None]:
+    """Bind the ambient request key (absolute batch index) for keyed rules.
+
+    Both the serial batch loop and the parallel chunk worker wrap each
+    request in this scope, so a keyed rule fires for the same request no
+    matter which process executes it or in what order.
+    """
+    token = _REQUEST_KEY.set(key)
+    try:
+        yield
+    finally:
+        _REQUEST_KEY.reset(token)
+
+
+def current_request_key() -> int | None:
+    """The ambient request key bound by :func:`request_scope`, or ``None``."""
+    return _REQUEST_KEY.get()

@@ -149,6 +149,14 @@ class Outcome:
         ``None`` for successful calls.  :meth:`Session.batch` with
         ``capture_errors=True`` records a failed request's exception here
         instead of raising, so one poisoned request cannot kill a stream.
+    degraded:
+        ``None`` for full-fidelity answers.  A short reason tag when the
+        hardened runtime degraded the call honestly instead of answering:
+        ``"deadline"`` (the wall-clock budget expired mid-plan; ``verdict``
+        is ``None`` — *unknown*, never a guess — and ``elapsed`` holds the
+        partial timing) or ``"quarantined"`` (a parallel batch isolated
+        this request after repeated worker crashes; ``error`` carries the
+        worker-side failure).
     """
 
     request: Any
@@ -158,6 +166,7 @@ class Outcome:
     elapsed: float = 0.0
     cache: Mapping[str, tuple[int, int, int]] = field(default_factory=dict)
     error: str | None = None
+    degraded: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -166,7 +175,10 @@ class Outcome:
     def explain(self) -> str:
         """A one-line human-readable summary of the outcome."""
         if self.error is not None:
-            return f"error after {self.elapsed * 1000:.1f}ms: {self.error}"
+            tag = f" [{self.degraded}]" if self.degraded is not None else ""
+            return f"error after {self.elapsed * 1000:.1f}ms{tag}: {self.error}"
+        if self.degraded is not None:
+            return f"degraded ({self.degraded}) after {self.elapsed * 1000:.1f}ms"
         verdict = "" if self.verdict is None else f" verdict={self.verdict}"
         certified = "" if self.certificate is None else " (certified)"
         return f"{type(self.value).__name__}{verdict}{certified} in {self.elapsed * 1000:.1f}ms"

@@ -45,7 +45,10 @@ from repro.engine.backends import Backend, backend_names, create_backend
 from repro.engine.cache import EngineCache, snapshot_delta
 from repro.engine.persist import PersistentCache
 from repro.engine import backends as _backends
-from repro.exceptions import SessionError
+from repro.exceptions import DeadlineExceeded, SessionError
+from repro.faults import plan as _faults
+from repro.faults.plan import ActiveFaults, FaultPlan, request_scope
+from repro.faults.runtime import deadline_scope, session_entry
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational.instances import BagInstance, SetInstance
@@ -81,6 +84,11 @@ class Limits:
     bounded_guess_max_candidates: int = 2_000_000
     max_batch_size: int | None = None
     fuzz_time_budget: float | None = None
+    #: Wall-clock budget per service call, in milliseconds (``None`` =
+    #: unbounded).  The engine driver loops poll a monotonic clock and a
+    #: call that exhausts the budget yields an honest degraded Outcome
+    #: (``verdict None``, ``degraded="deadline"``) instead of raising.
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         if self.bounded_guess_max_candidates < 1:
@@ -89,6 +97,8 @@ class Limits:
             raise SessionError("max_batch_size must be at least 1 (or None)")
         if self.fuzz_time_budget is not None and self.fuzz_time_budget <= 0:
             raise SessionError("fuzz_time_budget must be positive (or None)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise SessionError("deadline_ms must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -125,6 +135,9 @@ class SessionSpec:
     #: Whether the source session verified plans/generated code online —
     #: workers inherit the same debugging posture.
     debug_verify_plans: bool = False
+    #: The parent session's fault plan, if any: a frozen picklable value,
+    #: so chaos campaigns inject the same seeded faults in every worker.
+    fault_plan: FaultPlan | None = None
 
     def build(self) -> "Session":
         """Rehydrate an equivalent session (same configuration, fresh cache)."""
@@ -139,6 +152,7 @@ class SessionSpec:
             name=self.name,
             persist_path=self.persist_path,
             debug_verify_plans=self.debug_verify_plans,
+            fault_plan=self.fault_plan,
         )
 
 
@@ -180,6 +194,12 @@ class Session:
         count/exists memos and decision verdicts warm across restarts, and
         parallel workers built from :meth:`spec` share the same store.  A
         missing/corrupt store silently degrades to cold behaviour.
+    fault_plan:
+        Arm a :class:`~repro.faults.plan.FaultPlan` for every call made
+        through this session (chaos campaigns and resilience tests); the
+        plan travels inside :meth:`spec` so parallel workers inject the
+        same seeded faults.  ``None`` (the default) keeps every injection
+        site a no-op.
     """
 
     def __init__(
@@ -191,6 +211,7 @@ class Session:
         memoize: bool = True,
         persist_path: "str | Path | None" = None,
         debug_verify_plans: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.name = name if name is not None else f"session-{next(_SESSION_COUNTER)}"
         self.cache = cache if cache is not None else EngineCache()
@@ -206,22 +227,38 @@ class Session:
                 f"unknown engine backend {backend!r}; expected one of {backend_names()}"
             )
         self.backend_name = backend
+        self.fault_plan = fault_plan
+        #: The armed per-process fault state; counters persist across the
+        #: session's activations so count/after schedules span calls.
+        self._active_faults = ActiveFaults(fault_plan) if fault_plan is not None else None
         self.persist_path = str(persist_path) if persist_path is not None else None
         if self.persist_path is not None:
             from repro.engine.fingerprints import persistent_digest
+            from repro.faults.plan import use_faults
 
-            self.cache.attach_persistent(
-                PersistentCache(
+            # Arm the plan while the store connects, so ``persist.connect``
+            # faults exercise the degraded-open path.
+            with use_faults(self._active_faults):
+                store = PersistentCache(
                     self.persist_path,
                     backend=self.backend_name,
                     limits_fingerprint=persistent_digest(self.limits),
                 )
-            )
+            self.cache.attach_persistent(store)
 
     @property
     def persistent(self) -> "PersistentCache | None":
         """The persistent cache tier backing this session, if any."""
         return self.cache.persistent
+
+    @property
+    def active_faults(self) -> ActiveFaults | None:
+        """The armed per-process fault state built from ``fault_plan``, if any.
+
+        The parallel chunk worker re-publishes this around its request loop
+        so ``parallel.request`` faults fire outside :meth:`activate`.
+        """
+        return self._active_faults
 
     def close(self) -> None:
         """Detach and close the persistent tier (the session stays usable, cold)."""
@@ -268,9 +305,16 @@ class Session:
         verify_token = (
             _verify_hooks.set_enabled(True) if self.debug_verify_plans else None
         )
+        faults_token = (
+            _faults._ACTIVE.set(self._active_faults)
+            if self._active_faults is not None
+            else None
+        )
         try:
             yield self
         finally:
+            if faults_token is not None:
+                _faults._ACTIVE.reset(faults_token)
             if verify_token is not None:
                 _verify_hooks.reset(verify_token)
             _backends._ACTIVE_BACKEND.reset(backend_token)
@@ -286,20 +330,46 @@ class Session:
         run: Callable[[], Any],
         interpret: Callable[[Any], tuple[bool | None, Any | None]],
         memo_key: Any | None = None,
+        use_deadline: bool = True,
     ) -> Outcome:
+        deadline_ms = self.limits.deadline_ms if use_deadline else None
         with self.activate():
             before = self.cache.snapshot()
             started = time.perf_counter()
-            if memo_key is not None and self.memoize:
-                # Decision and encoding results are pure functions of frozen
-                # request values, so memoising them in the session cache's
-                # result layer is always sound; repeated requests — the
-                # common shape of production traffic — hit here and skip the
-                # whole pipeline.  The hit shows up in the outcome's cache
-                # delta under ``results``.
-                value = self.cache.result(("session", memo_key), run)
-            else:
-                value = run()
+            try:
+                with deadline_scope(deadline_ms):
+                    # The ``session.execute`` injection site plus an up-front
+                    # deadline check: admission latency and already-expired
+                    # budgets degrade the call before any memo lookup or
+                    # engine work (one ContextVar read each when unarmed).
+                    session_entry()
+                    if memo_key is not None and self.memoize:
+                        # Decision and encoding results are pure functions of
+                        # frozen request values, so memoising them in the
+                        # session cache's result layer is always sound;
+                        # repeated requests — the common shape of production
+                        # traffic — hit here and skip the whole pipeline.  The
+                        # hit shows up in the outcome's cache delta under
+                        # ``results``.  A deadline abort raises out of the
+                        # build before anything is cached, so a degraded run
+                        # never poisons the memo.
+                        value = self.cache.result(("session", memo_key), run)
+                    else:
+                        value = run()
+            except DeadlineExceeded:
+                elapsed = time.perf_counter() - started
+                cache = snapshot_delta(self.cache.snapshot(), before)
+                # Honest degradation: no verdict is ever guessed — the
+                # outcome says "unknown, out of budget" with partial timing.
+                return Outcome(
+                    request=request,
+                    value=None,
+                    verdict=None,
+                    certificate=None,
+                    elapsed=elapsed,  # lint: disable=determinism-taint -- elapsed is timing metadata by design; it is excluded from digests, verdicts, and certificates
+                    cache=cache,
+                    degraded="deadline",
+                )
             elapsed = time.perf_counter() - started
             cache = snapshot_delta(self.cache.snapshot(), before)
         verdict, certificate = interpret(value)
@@ -540,6 +610,9 @@ class Session:
             ("verify", containee.name, containing.name),
             lambda: run_differential_oracle(containee, containing, config),
             lambda report: (report.consensus if report.ok else None, None),
+            # The oracle runs many decisions; its budget is the campaign
+            # time budget, not the per-request deadline.
+            use_deadline=False,
         )
 
     def fuzz(
@@ -571,6 +644,10 @@ class Session:
             ("fuzz", config.cases, config.seed),
             lambda: run_campaign(config, session=self),
             lambda report: (report.ok, None),
+            # Campaigns budget themselves via ``time_budget``; the
+            # per-request deadline is applied per case by the runner
+            # (``CampaignConfig.deadline_ms``), never to the whole campaign.
+            use_deadline=False,
         )
 
     # ------------------------------------------------------------------ #
@@ -615,6 +692,7 @@ class Session:
             cache_capacities=self.cache.capacities,
             persist_path=self.persist_path,
             debug_verify_plans=self.debug_verify_plans,
+            fault_plan=self.fault_plan,
         )
 
     def batch(
@@ -623,6 +701,7 @@ class Session:
         capture_errors: bool = False,
         jobs: int | str = 1,
         chunk_size: int | None = None,
+        task_timeout: float | None = None,
     ) -> Iterator[Outcome]:
         """Stream outcomes for a sweep of heterogeneous requests.
 
@@ -650,6 +729,11 @@ class Session:
         :class:`Outcome` carrying the error instead of raising, so one
         poisoned request cannot kill the stream.  The session's
         ``max_batch_size`` limit bounds how many requests are consumed.
+
+        ``task_timeout`` (parallel path only) bounds each worker task's
+        wall clock in seconds: a hung or dead worker's chunk is retried on
+        another worker and, if it keeps failing, bisected until the poison
+        request is quarantined (see :func:`repro.parallel.parallel_batch`).
         """
         if jobs == "auto" or not isinstance(jobs, int):
             from repro.parallel import resolve_jobs
@@ -678,6 +762,7 @@ class Session:
                 jobs=jobs,
                 chunk_size=chunk_size,
                 capture_errors=capture_errors,
+                task_timeout=task_timeout,
             )
             return
 
@@ -686,10 +771,17 @@ class Session:
                 raise SessionError(
                     f"batch exceeded the session's max_batch_size limit of {limit}"
                 )
-            if not capture_errors:
-                yield self.submit(request)
-                continue
-            yield self.submit_captured(request)
+            # The ambient request key lets keyed fault rules target the same
+            # absolute index on the serial and parallel paths alike.  The
+            # outcome is computed inside the scope but yielded outside it,
+            # so the key never leaks into the consumer's context.
+            with request_scope(index):
+                outcome = (
+                    self.submit_captured(request)
+                    if capture_errors
+                    else self.submit(request)
+                )
+            yield outcome
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Session({self.name!r}, backend={self.backend_name!r})"

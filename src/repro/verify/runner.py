@@ -96,6 +96,11 @@ class CampaignConfig:
     #: campaign (see :mod:`repro.analysis`); the per-chunk verification
     #: counts ride the snapshot under the ``verify`` pseudo-layer.
     debug_verify_plans: bool = False
+    #: Per-case wall-clock budget in milliseconds.  A case that exhausts it
+    #: is recorded as an honest degraded result (``degraded="deadline"``,
+    #: no consensus) instead of stalling the campaign on one pathological
+    #: pair; ``None`` disables the per-case deadline.
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         if self.cases < 0:
@@ -106,6 +111,8 @@ class CampaignConfig:
             raise VerifyError("mutation_rate must lie in [0, 1]")
         if self.time_budget is not None and self.time_budget <= 0:
             raise VerifyError("the time budget must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise VerifyError("deadline_ms must be positive when set")
         self.oracle_config()  # validate strategies / backends / paths eagerly
 
     def oracle_config(self) -> OracleConfig:
@@ -165,6 +172,9 @@ class CaseResult:
     skipped_runs: int
     mutation_checked: str | None
     failures: tuple[CampaignFailure, ...] = ()
+    #: ``"deadline"`` when the case exhausted ``CampaignConfig.deadline_ms``
+    #: — no consensus was established, honestly reported, never guessed.
+    degraded: str | None = None
 
 
 #: Weighted generator palette: (name, weight).  Adversarial boundary pairs
@@ -230,6 +240,33 @@ def generate_case(config: CampaignConfig, index: int) -> FuzzCase:
     if rng.random() < config.mutation_rate:
         mutation = rng.choice(MUTATIONS).name
     return FuzzCase(index, origin, containee, containing, mutation=mutation)
+
+
+def _run_case_with_deadline(config: CampaignConfig, index: int) -> CaseResult:
+    """Run case *index* under the campaign's per-case deadline, if any.
+
+    The engine driver loops poll the ambient deadline
+    (:func:`repro.faults.runtime.deadline_scope`) and raise
+    :class:`~repro.exceptions.DeadlineExceeded` mid-plan; the campaign
+    converts that into an honest degraded result rather than a verdict.
+    """
+    from repro.exceptions import DeadlineExceeded
+    from repro.faults.runtime import deadline_scope
+
+    case = generate_case(config, index)
+    try:
+        with deadline_scope(config.deadline_ms):
+            return run_case(case, config)
+    except DeadlineExceeded:
+        return CaseResult(
+            index=case.index,
+            origin=case.origin,
+            consensus=None,
+            decisions=0,
+            skipped_runs=0,
+            mutation_checked=None,
+            degraded="deadline",
+        )
 
 
 def run_case(case: FuzzCase, config: CampaignConfig) -> CaseResult:
@@ -336,9 +373,9 @@ def _run_chunk(payload: tuple[CampaignConfig, tuple[int, ...]]) -> tuple[
     before = default_cache().snapshot()
     if config.debug_verify_plans:
         with _verify_hooks.debug_verify_plans():
-            results = [run_case(generate_case(config, index), config) for index in indices]
+            results = [_run_case_with_deadline(config, index) for index in indices]
     else:
-        results = [run_case(generate_case(config, index), config) for index in indices]
+        results = [_run_case_with_deadline(config, index) for index in indices]
     snapshot = snapshot_delta(default_cache().snapshot(), before)
     persist_after = _persist_counts()
     if persist_before is not None and persist_after is not None:
@@ -414,6 +451,10 @@ class CampaignReport:
         return sum(1 for result in self.case_results if result.mutation_checked is not None)
 
     @property
+    def degraded_cases(self) -> int:
+        return sum(1 for result in self.case_results if result.degraded is not None)
+
+    @property
     def ok(self) -> bool:
         return not self.failures
 
@@ -430,6 +471,11 @@ class CampaignReport:
         contained = sum(1 for result in self.case_results if result.consensus is True)
         refuted = sum(1 for result in self.case_results if result.consensus is False)
         lines.append(f"verdicts: {contained} contained, {refuted} not contained")
+        if self.degraded_cases:
+            lines.append(
+                f"{self.degraded_cases} cases degraded honestly "
+                f"(per-case deadline {self.config.deadline_ms}ms)"
+            )
         if self.engine_stats:
             stats = dict(self.engine_stats)
             persist = stats.pop("persist", None)

@@ -1,0 +1,115 @@
+"""Acceptance tests for the chaos campaign (``repro.faults.chaos``).
+
+The campaign invariant: with persist faults, worker crashes/hangs and
+deadline pressure all armed, every outcome is either byte-equal to the
+fault-free oracle's or *explicitly* degraded — never silently wrong —
+and a same-seed replay reproduces the campaign digest exactly.
+"""
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults.chaos import (
+    CHAOS_SCHEDULES,
+    ChaosConfig,
+    build_chaos_plan,
+    chaos_requests,
+    run_chaos,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cases": 0},
+            {"schedule": "nope"},
+            {"jobs": 0},
+            {"chunk_size": 0},
+            {"task_timeout": 0.0},
+            {"deadline_ms": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultError):
+            ChaosConfig(**kwargs)
+
+    def test_requests_are_a_pure_function_of_seed(self):
+        config = ChaosConfig(cases=10, seed=4)
+        first = chaos_requests(config)
+        second = chaos_requests(config)
+        assert len(first) == 10
+        assert [r.containee for r in first] == [r.containee for r in second]
+        assert [r.containing for r in first] == [r.containing for r in second]
+
+    @pytest.mark.parametrize("schedule", CHAOS_SCHEDULES)
+    def test_plans_are_deterministic_per_schedule(self, schedule):
+        config = ChaosConfig(cases=40, seed=9, schedule=schedule)
+        plan_a, deadline_a = build_chaos_plan(config)
+        plan_b, deadline_b = build_chaos_plan(config)
+        assert plan_a == plan_b
+        assert deadline_a == deadline_b
+        if schedule in ("worker", "mixed"):
+            assert any(r.site == "parallel.request" for r in plan_a.rules)
+        if schedule in ("deadline", "mixed"):
+            assert deadline_a is not None
+            assert any(r.site == "session.execute" for r in plan_a.rules)
+        if schedule in ("persist", "mixed"):
+            assert any(r.site.startswith("persist.") for r in plan_a.rules)
+        # Outcome-affecting rules must be keyed (scheduling-independent);
+        # only absorbed persist faults may ride probabilistic streams.
+        for rule in plan_a.rules:
+            if not rule.site.startswith("persist."):
+                assert rule.keys is not None
+
+
+class TestCampaign:
+    def test_acceptance_mixed_campaign_is_never_silently_wrong(self):
+        # The headline acceptance run: >= 300 decisions under jobs=2 with
+        # every fault family armed.
+        config = ChaosConfig(cases=300, seed=7, schedule="mixed", jobs=2)
+        report = run_chaos(config)
+        assert report.decisions >= 300
+        assert report.silently_wrong == ()
+        assert report.breaker_ok
+        assert report.breaker_transitions == ("open", "half-open", "closed")
+        assert report.ok
+        # Poison requests really degraded (the schedule always keys at
+        # least one crash and one past-deadline latency).
+        assert report.quarantined >= 1
+        assert report.degraded >= report.quarantined
+        assert report.matched + report.degraded == report.decisions
+        # Outcomes arrive in request order, one per case.
+        assert [case.index for case in report.cases] == list(range(300))
+        summary = report.describe()
+        assert "0 silently wrong" in summary
+        assert "invariant holds" in summary
+
+    def test_same_seed_replay_is_byte_identical(self):
+        config = ChaosConfig(cases=40, seed=11, schedule="mixed", jobs=2)
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert first.digest() == second.digest()
+        assert first.cases == second.cases
+
+    def test_different_seeds_differ(self):
+        base = ChaosConfig(cases=40, schedule="mixed", jobs=2)
+        one = run_chaos(ChaosConfig(cases=40, seed=1, schedule="mixed", jobs=2))
+        two = run_chaos(ChaosConfig(cases=40, seed=2, schedule="mixed", jobs=2))
+        assert base.cases == 40
+        assert one.digest() != two.digest()
+
+    def test_persist_schedule_absorbs_every_fault(self):
+        # Persist faults are fully absorbed by retries + breaker: nothing
+        # degrades, everything matches the oracle.
+        config = ChaosConfig(cases=30, seed=3, schedule="persist", jobs=2)
+        report = run_chaos(config)
+        assert report.ok
+        assert report.matched == 30
+        assert report.degraded == 0
+
+    def test_serial_jobs_one_campaign_holds_too(self):
+        config = ChaosConfig(cases=20, seed=5, schedule="mixed", jobs=1)
+        report = run_chaos(config)
+        assert report.ok
+        assert report.silently_wrong == ()

@@ -1,0 +1,195 @@
+"""Tests for the fault-injection plane (``repro.faults.plan``).
+
+The contract under test: plans are frozen picklable values validated at
+construction; arming is ContextVar-scoped and costs nothing when off;
+keyed rules fire scheduling-independently on exact request keys; count /
+after / probability schedules are honoured; and the per-rule RNG streams
+are a pure function of ``(plan seed, rule index)`` — two armings of the
+same plan inject the same faults.
+"""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults import (
+    SITES,
+    ActiveFaults,
+    FaultPlan,
+    FaultRule,
+    active_faults,
+    check,
+    current_request_key,
+    request_scope,
+    site_names,
+    use_faults,
+)
+
+
+class TestSiteRegistry:
+    def test_registered_sites(self):
+        names = site_names()
+        assert len(names) == len(set(names)) == len(SITES)
+        assert set(names) == {
+            "persist.connect",
+            "persist.load",
+            "persist.store",
+            "parallel.request",
+            "session.execute",
+            "executor.start",
+            "executor.tick",
+        }
+
+    def test_every_site_declares_actions(self):
+        for site in SITES:
+            assert site.actions, site.name
+            assert site.boundary in ("sqlite", "process", "session", "engine")
+
+
+class TestRuleValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault site"):
+            FaultRule("persist.nope", "error")
+
+    def test_unsupported_action_rejected(self):
+        with pytest.raises(FaultError, match="does not support action"):
+            FaultRule("session.execute", "crash")
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"probability": 1.5}, "probability"),
+            ({"probability": -0.1}, "probability"),
+            ({"count": 0}, "count"),
+            ({"after": -1}, "after"),
+            ({"delay_ms": -1.0}, "delay_ms"),
+        ],
+    )
+    def test_bad_schedules_rejected(self, kwargs, message):
+        with pytest.raises(FaultError, match=message):
+            FaultRule("persist.store", "busy", **kwargs)
+
+    def test_keys_normalised_sorted_unique(self):
+        rule = FaultRule("parallel.request", "crash", keys=(5, 1, 5, 3))
+        assert rule.keys == (1, 3, 5)
+
+
+class TestPlanValue:
+    def test_plan_pickles_and_compares(self):
+        plan = FaultPlan(
+            seed=7,
+            rules=(
+                FaultRule("persist.store", "busy", probability=0.25),
+                FaultRule("parallel.request", "crash", keys=(2,)),
+            ),
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.sites == {"persist.store", "parallel.request"}
+
+    def test_describe_lists_rules(self):
+        plan = FaultPlan(rules=(FaultRule("persist.load", "error"),))
+        assert "persist.load/error" in plan.describe()
+        assert FaultPlan().describe() == "fault plan: empty"
+
+
+class TestArming:
+    def test_unarmed_check_is_none(self):
+        assert active_faults() is None
+        assert check("persist.store") is None
+
+    def test_use_faults_scopes_and_resets(self):
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy"),))
+        with use_faults(plan) as active:
+            assert active_faults() is active
+            assert check("persist.store") is plan.rules[0]
+            assert check("persist.load") is None
+        assert active_faults() is None
+        assert check("persist.store") is None
+
+    def test_use_faults_none_is_noop(self):
+        with use_faults(None) as active:
+            assert active is None
+            assert active_faults() is None
+
+    def test_rearming_active_state_preserves_counters(self):
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy", count=1),))
+        armed = ActiveFaults(plan)
+        with use_faults(armed):
+            assert check("persist.store") is not None
+        # Re-publishing the same armed state must not reset the count cap.
+        with use_faults(armed):
+            assert check("persist.store") is None
+        assert armed.fired_summary() == (("persist.store", "busy", 1),)
+
+
+class TestSchedules:
+    def test_count_caps_firings(self):
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy", count=2),))
+        active = ActiveFaults(plan)
+        fired = [active.check("persist.store") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_after_skips_initial_hits(self):
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy", after=3),))
+        active = ActiveFaults(plan)
+        fired = [active.check("persist.store") is not None for _ in range(5)]
+        assert fired == [False, False, False, True, True]
+
+    def test_keyed_rule_fires_only_on_its_keys(self):
+        plan = FaultPlan(rules=(FaultRule("parallel.request", "crash", keys=(1, 3)),))
+        active = ActiveFaults(plan)
+        assert active.check("parallel.request") is None  # no ambient key
+        fired = []
+        for key in range(5):
+            with request_scope(key):
+                assert current_request_key() == key
+                fired.append(active.check("parallel.request") is not None)
+        assert fired == [False, True, False, True, False]
+        # An explicit key argument overrides the ambient one.
+        assert active.check("parallel.request", key=3) is not None
+        assert active.check("parallel.request", key=0) is None
+
+    def test_request_scope_resets(self):
+        with request_scope(9):
+            assert current_request_key() == 9
+        assert current_request_key() is None
+
+    def test_probabilistic_stream_is_deterministic_per_plan(self):
+        plan = FaultPlan(
+            seed=11, rules=(FaultRule("persist.store", "busy", probability=0.3),)
+        )
+        first = ActiveFaults(plan)
+        second = ActiveFaults(plan)
+        pattern_a = [first.check("persist.store") is not None for _ in range(200)]
+        pattern_b = [second.check("persist.store") is not None for _ in range(200)]
+        assert pattern_a == pattern_b
+        assert 20 < sum(pattern_a) < 120  # actually probabilistic, not const
+
+    def test_different_seeds_draw_different_streams(self):
+        rule = FaultRule("persist.store", "busy", probability=0.5)
+        one = ActiveFaults(FaultPlan(seed=1, rules=(rule,)))
+        two = ActiveFaults(FaultPlan(seed=2, rules=(rule,)))
+        pattern_1 = [one.check("persist.store") is not None for _ in range(64)]
+        pattern_2 = [two.check("persist.store") is not None for _ in range(64)]
+        assert pattern_1 != pattern_2
+
+    def test_first_matching_rule_wins_and_is_logged(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule("persist.store", "torn-write", count=1),
+                FaultRule("persist.store", "busy"),
+            )
+        )
+        active = ActiveFaults(plan)
+        assert active.check("persist.store").action == "torn-write"
+        assert active.check("persist.store").action == "busy"
+        assert active.fired_log == [
+            ("persist.store", "torn-write", None),
+            ("persist.store", "busy", None),
+        ]
+        assert active.fired_summary() == (
+            ("persist.store", "busy", 1),
+            ("persist.store", "torn-write", 1),
+        )

@@ -1,0 +1,177 @@
+"""Tests for the hardened persist tier: retries, breaker, torn writes.
+
+The contract under test: transient (busy/locked-class) failures are
+retried with bounded jittered backoff and absorbed; persistent failures
+trip the circuit breaker, which skips round-trips while open, admits a
+half-open probe after the cooldown, and closes on probe success; torn
+writes degrade to counted misses on read-back; and none of it ever
+surfaces an exception to the cache layer above.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.persist import MISS, CircuitBreaker, PersistentCache
+from repro.faults import FaultPlan, FaultRule, use_faults
+
+
+def _store(tmp_path, **kwargs) -> PersistentCache:
+    return PersistentCache(tmp_path / "store.db", **kwargs)
+
+
+def _key(tag: str):
+    return ("session", f"resilience-{tag}")
+
+
+class TestRetries:
+    def test_injected_busy_on_store_is_retried_and_absorbed(self, tmp_path):
+        store = _store(tmp_path)
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy", count=1),))
+        try:
+            with use_faults(plan):
+                assert store.store("results", _key("busy"), {"n": 1}) is True
+            assert store.stats.retries >= 1
+            assert store.stats.errors == 0
+            assert store.load("results", _key("busy")) == {"n": 1}
+        finally:
+            store.close()
+
+    def test_injected_busy_on_load_is_retried_and_absorbed(self, tmp_path):
+        store = _store(tmp_path)
+        try:
+            assert store.store("results", _key("load"), "value") is True
+            plan = FaultPlan(rules=(FaultRule("persist.load", "busy", count=1),))
+            with use_faults(plan):
+                assert store.load("results", _key("load")) == "value"
+            assert store.stats.retries >= 1
+            assert store.stats.errors == 0
+        finally:
+            store.close()
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        # An unbounded busy storm must exhaust the retry budget and count
+        # one error, not spin forever.
+        store = _store(tmp_path)
+        plan = FaultPlan(rules=(FaultRule("persist.store", "busy"),))
+        try:
+            with use_faults(plan):
+                assert store.store("results", _key("storm"), 1) is False
+            assert store.stats.errors == 1
+        finally:
+            store.close()
+
+    def test_torn_write_degrades_to_a_miss_on_read_back(self, tmp_path):
+        store = _store(tmp_path)
+        plan = FaultPlan(rules=(FaultRule("persist.store", "torn-write", count=1),))
+        try:
+            with use_faults(plan):
+                assert store.store("results", _key("torn"), {"big": "x" * 256}) is True
+            assert store.load("results", _key("torn")) is MISS
+            assert store.stats.errors == 1
+            # The slot is still writable: a clean store repairs it.
+            assert store.store("results", _key("torn"), {"big": "y"}) is True
+            assert store.load("results", _key("torn")) == {"big": "y"}
+        finally:
+            store.close()
+
+    def test_injected_load_error_is_a_counted_miss(self, tmp_path):
+        store = _store(tmp_path)
+        try:
+            assert store.store("results", _key("err"), 7) is True
+            plan = FaultPlan(rules=(FaultRule("persist.load", "error", count=1),))
+            with use_faults(plan):
+                assert store.load("results", _key("err")) is MISS
+            assert store.stats.errors == 1
+            assert store.load("results", _key("err")) == 7
+        finally:
+            store.close()
+
+
+class TestBreaker:
+    def test_unit_lifecycle(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=0.05)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        time.sleep(0.06)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.transitions == ("open", "half-open", "closed")
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.transitions == ("open", "half-open", "open")
+
+    def test_store_level_lifecycle_and_skip_accounting(self, tmp_path):
+        store = _store(tmp_path, breaker_threshold=2, breaker_cooldown=0.10)
+        plan = FaultPlan(rules=(FaultRule("persist.store", "error", count=2),))
+        try:
+            with use_faults(plan):
+                assert store.store("results", _key("b0"), 0) is False
+                assert store.store("results", _key("b1"), 1) is False
+            assert store.breaker.state == "open"
+            assert store.stats.errors == 2
+            # While open, stores and loads are skipped without touching
+            # sqlite — and without raising.
+            assert store.store("results", _key("b2"), 2) is False
+            assert store.load("results", _key("b0")) is MISS
+            assert store.stats.breaker_skipped == 2
+            time.sleep(0.12)
+            assert store.store("results", _key("b3"), 3) is True  # half-open probe
+            assert store.breaker.state == "closed"
+            assert store.breaker.transitions == ("open", "half-open", "closed")
+            assert store.load("results", _key("b3")) == 3
+        finally:
+            store.close()
+
+    def test_info_and_describe_report_the_breaker(self, tmp_path):
+        store = _store(tmp_path, breaker_threshold=1, breaker_cooldown=60.0)
+        plan = FaultPlan(rules=(FaultRule("persist.store", "error", count=1),))
+        try:
+            with use_faults(plan):
+                store.store("results", _key("rep"), 1)
+            info = store.info()
+            assert info["breaker"]["state"] == "open"
+            assert info["breaker"]["opens"] == 1
+            assert info["breaker"]["transitions"] == ["open"]
+            assert "breaker open" in store.describe()
+        finally:
+            store.close()
+
+    def test_healthy_path_stats_line_is_unchanged(self, tmp_path):
+        # The warm-start CI job greps this line; a healthy store must not
+        # grow a breaker suffix.
+        store = _store(tmp_path)
+        try:
+            store.store("results", _key("h"), 1)
+            assert "; breaker" not in store.describe()
+            assert "0 errors" in store.stats.describe()
+        finally:
+            store.close()
+
+
+class TestConnectFaults:
+    def test_injected_connect_error_degrades_to_pass_through(self, tmp_path):
+        plan = FaultPlan(rules=(FaultRule("persist.connect", "error", count=1),))
+        with use_faults(plan):
+            store = _store(tmp_path)
+        try:
+            assert store.store("results", _key("dead"), 1) is False
+            assert store.load("results", _key("dead")) is MISS
+            assert store.stats.errors >= 1
+            assert store.info()["status"] == "unavailable"
+        finally:
+            store.close()

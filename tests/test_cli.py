@@ -502,3 +502,79 @@ class TestCacheVacuum:
         captured = capsys.readouterr()
         assert code == 2
         assert "only apply to the vacuum action" in captured.err
+
+
+class TestCacheDiagnostics:
+    """Satellite: missing/corrupt stores get clean diagnostics, no traceback."""
+
+    @pytest.mark.parametrize("action", ["info", "vacuum", "clear"])
+    def test_missing_path_is_a_clean_error(self, capsys, tmp_path, action):
+        code = main(["cache", action, str(tmp_path / "absent.db")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no persistent store at" in captured.err
+        assert "Traceback" not in captured.err
+        assert not (tmp_path / "absent.db").exists()  # info must not create one
+
+    def test_corrupt_store_info_exits_nonzero_with_status(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.db"
+        path.write_bytes(b"this is not a sqlite file, not even close....")
+        code = main(["cache", "info", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "(unavailable)" in captured.out
+        assert "sessions fall back to in-memory caching" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_info_reports_the_breaker(self, capsys, tmp_path):
+        from repro.engine.persist import PersistentCache
+
+        path = tmp_path / "store.db"
+        PersistentCache(path).close()
+        code = main(["cache", "info", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "breaker:  closed (0 opens, 0 half-opens, 0 closes)" in captured.out
+
+
+class TestChaosCommand:
+    def test_small_campaign_exits_zero_and_reports_the_invariant(self, capsys):
+        code = main(
+            ["chaos", "--cases", "12", "--seed", "2", "--schedule", "worker", "--jobs", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "chaos campaign (worker): 12 decisions" in captured.out
+        assert "0 silently wrong" in captured.out
+        assert "invariant holds" in captured.out
+
+
+class TestDeadlineFlag:
+    def test_deadline_degrades_batch_entries_honestly(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        code = main(["fuzz", "--cases", "3", "--seed", "1", "--save-corpus", str(corpus)])
+        capsys.readouterr()
+        assert code == 0
+        # A 1ms budget is exhausted during admission for at least the
+        # non-memoized first decision; every degraded entry must say so
+        # rather than claim "not contained".
+        code = main(["--deadline-ms", "1", "decide", "--batch", str(corpus)])
+        captured = capsys.readouterr()
+        assert code == 0  # degraded is honest, not an error
+        assert "degraded (deadline)" in captured.out
+        assert "degraded," in captured.out.splitlines()[-1]
+
+    def test_generous_deadline_output_matches_undeadlined_run(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        assert main(["fuzz", "--cases", "4", "--seed", "3", "--save-corpus", str(corpus)]) == 0
+        capsys.readouterr()
+        import re
+
+        def run(argv):
+            code = main(argv)
+            out = capsys.readouterr().out
+            return code, re.sub(r"\[\d+\.\dms\]", "[ms]", out)
+
+        plain = run(["decide", "--batch", str(corpus)])
+        bounded = run(["--deadline-ms", "600000", "decide", "--batch", str(corpus)])
+        assert plain == bounded
